@@ -1,0 +1,22 @@
+"""Benchmark fixtures (see bench_lib for the shared helpers)."""
+
+import numpy as np
+import pytest
+
+from bench_lib import BENCH_N, BENCH_SEED, cached_index, cached_network
+
+
+@pytest.fixture(scope="session")
+def bench_net():
+    return cached_network(BENCH_N)
+
+
+@pytest.fixture(scope="session")
+def bench_index(bench_net):
+    return cached_index(BENCH_N)
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_net):
+    rng = np.random.default_rng(BENCH_SEED + 1)
+    return [int(v) for v in rng.integers(0, bench_net.num_vertices, 12)]

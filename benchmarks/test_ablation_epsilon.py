@@ -1,0 +1,69 @@
+"""Ablation: approximate kNN (the paper's "approximate query
+processing on spatial networks" future-work direction, p.42).
+
+Sweeps the epsilon of :func:`repro.query.approximate_knn` and reports
+refinements saved against observed distance error.  The point of the
+interval machinery is exactly this dial: wide intervals are free,
+exactness costs refinements.
+"""
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, make_objects
+from repro.query import approximate_knn, ine_knn
+
+EPSILONS = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0]
+K = 10
+DENSITY = 0.05
+
+
+def test_epsilon_sweep(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "ablation_epsilon",
+        ["epsilon", "refinements_per_query", "vs_exact", "max_observed_error"],
+    )
+    oi = make_objects(bench_net, bench_index, DENSITY)
+    queries = bench_queries[:8]
+
+    def sweep():
+        # Ground truth: exact distance of *every* object per query, so
+        # reported objects outside the true top-k can be scored too.
+        truth = {}
+        for q in queries:
+            exact = ine_knn(oi, q, len(oi.objects))
+            by_oid = {n.oid: n.distance for n in exact.neighbors}
+            topk = sorted(by_oid.values())[:K]
+            truth[q] = (by_oid, topk)
+        rows = []
+        for eps in EPSILONS:
+            refinements = 0
+            max_err = 0.0
+            for q in queries:
+                by_oid, topk = truth[q]
+                result = approximate_knn(bench_index, oi, q, K, epsilon=eps)
+                refinements += result.stats.refinements
+                # Contract: the i-th reported true distance is at most
+                # (1 + eps) times the true i-th nearest distance.
+                got = sorted(by_oid[n.oid] for n in result.neighbors)
+                for got_d, true_d in zip(got, topk):
+                    if true_d > 0:
+                        max_err = max(max_err, got_d / true_d - 1.0)
+            rows.append((eps, refinements / len(queries), max_err))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exact_refinements = rows[0][1]
+    for eps, refinements, max_err in rows:
+        recorder.add(eps, refinements, refinements / exact_refinements, max_err)
+    recorder.emit(capsys)
+
+    by_eps = {r[0]: r for r in rows}
+    # Refinements decrease monotonically (weakly) with epsilon...
+    refs = [by_eps[e][1] for e in EPSILONS]
+    assert all(a >= b - 1e-9 for a, b in zip(refs, refs[1:]))
+    # ...with a real saving at epsilon = 1.
+    assert by_eps[1.0][1] < 0.9 * exact_refinements
+    # And the observed error never exceeds the contract.
+    for eps, _, max_err in rows:
+        assert max_err <= eps + 1e-6
+    benchmark.extra_info["saving_at_eps_1"] = 1 - by_eps[1.0][1] / exact_refinements

@@ -1,0 +1,55 @@
+"""Ablation: the proximal-horizon strategy (paper p.27, LBS).
+
+Sweeps the travel-radius horizon of :class:`ProximalSILCIndex` and
+reports storage and coverage against the full index.  The paper's
+intuition -- limit the quadtrees to "say, 100 miles around a vertex"
+-- pays only once the horizon is a small fraction of the map: the
+horizon boundary itself costs blocks, so wide horizons can even exceed
+the full index.
+"""
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, cached_index, cached_network
+from repro.network import distance_matrix
+from repro.silc.proximal import ProximalSILCIndex
+
+N = 1000
+
+
+def test_proximal_radius_sweep(benchmark, capsys):
+    recorder = SeriesRecorder(
+        "ablation_proximal",
+        ["radius_quantile", "radius", "blocks", "vs_full", "pair_coverage"],
+    )
+    net = cached_network(N)
+    full_blocks = cached_index(N).total_blocks()
+    D = distance_matrix(net)
+    finite = D[np.isfinite(D) & (D > 0)]
+    quantiles = [0.02, 0.05, 0.1, 0.3, 0.6]
+
+    def sweep():
+        rows = []
+        for quantile in quantiles:
+            radius = float(np.quantile(finite, quantile))
+            prox = ProximalSILCIndex.build(net, radius=radius, chunk_size=256)
+            coverage = float(np.mean(finite <= radius))
+            rows.append(
+                (quantile, radius, prox.total_blocks(), coverage)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for quantile, radius, blocks, coverage in rows:
+        recorder.add(quantile, radius, blocks, blocks / full_blocks, coverage)
+    recorder.add("full", float("inf"), full_blocks, 1.0, 1.0)
+    recorder.emit(capsys)
+
+    blocks_by_q = {r[0]: r[2] for r in rows}
+    # Storage grows with the horizon.
+    ordered = [blocks_by_q[q] for q in quantiles]
+    assert ordered == sorted(ordered)
+    # A genuinely local horizon (2% of pair distances) is much smaller
+    # than the full index -- the LBS payoff.
+    assert blocks_by_q[0.02] < 0.6 * full_blocks
+    benchmark.extra_info["local_fraction"] = blocks_by_q[0.02] / full_blocks

@@ -1,0 +1,77 @@
+"""F6 (paper p.37): quality of the D0k and KMINDIST estimates.
+
+Measured against the true k-th neighbor distance Dk:
+
+* D0k (upper-bound estimate from the first k objects) sits slightly
+  above Dk -- ~120% in the paper;
+* KMINDIST (sound lower bound) sits slightly below -- ~90%.
+
+Their tightness explains, respectively, why Dk-pruning adds little
+over D0k and why most kNN-M neighbors can be accepted unrefined.
+"""
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, make_objects, run_workload
+
+DENSITIES = [0.2, 0.1, 0.05, 0.01]
+KS = [10, 25, 50, 100]
+
+
+def _ratios(metrics):
+    d0k = [
+        100.0 * est / true
+        for est, true in zip(metrics.d0k, metrics.exact_dk)
+        if true and true > 0
+    ]
+    kmin = [
+        100.0 * est / true
+        for est, true in zip(metrics.kmindist_final, metrics.exact_dk)
+        if true and true > 0
+    ]
+    return float(np.mean(d0k)), float(np.mean(kmin))
+
+
+def test_estimate_quality(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "fig_estimate_quality",
+        ["sweep", "value", "d0k_pct_of_dk", "kmindist_pct_of_dk"],
+    )
+
+    def run():
+        by_density = {}
+        for density in DENSITIES:
+            oi = make_objects(bench_net, bench_index, density)
+            by_density[density] = run_workload(
+                bench_index, bench_net, oi, bench_queries, 10,
+                algos=("knn_m",), with_io=False,
+            )["knn_m"]
+        oi = make_objects(bench_net, bench_index, 0.07)
+        by_k = {
+            k: run_workload(
+                bench_index, bench_net, oi, bench_queries, k,
+                algos=("knn_m",), with_io=False,
+            )["knn_m"]
+            for k in KS
+        }
+        return by_density, by_k
+
+    by_density, by_k = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    d0k_all, kmin_all = [], []
+    for sweep, table in (("density", by_density), ("k", by_k)):
+        for value, m in table.items():
+            d0k_pct, kmin_pct = _ratios(m)
+            recorder.add(sweep, value, d0k_pct, kmin_pct)
+            d0k_all.append(d0k_pct)
+            kmin_all.append(kmin_pct)
+    recorder.emit(capsys)
+
+    # D0k never undershoots Dk (it is an upper-bound estimator) and
+    # stays within a modest factor; KMINDIST never overshoots.
+    assert all(p >= 99.0 for p in d0k_all), f"D0k below Dk: {d0k_all}"
+    assert all(p <= 101.0 for p in kmin_all), f"KMINDIST above Dk: {kmin_all}"
+    assert np.mean(d0k_all) < 200.0, "D0k uselessly loose"
+    assert np.mean(kmin_all) > 50.0, "KMINDIST uselessly loose"
+    benchmark.extra_info["mean_d0k_pct"] = float(np.mean(d0k_all))
+    benchmark.extra_info["mean_kmindist_pct"] = float(np.mean(kmin_all))

@@ -1,0 +1,60 @@
+"""F2a (paper p.33 left): execution time vs object density, k=10.
+
+The paper's claims for this figure:
+
+* kNN and variants are about an order of magnitude faster than INE
+  and IER at small-to-moderate object densities;
+* INE and IER close the gap as S densifies (neighbors are nearby);
+* IER is always slowest.
+
+Time here is CPU + simulated I/O under the shared 5%-LRU disk model
+(the paper measures wall time on a disk-resident system).
+"""
+
+import pytest
+
+from bench_lib import ALL_ALGOS, BENCH_N, SeriesRecorder, make_objects, run_workload
+
+DENSITIES = [0.2, 0.05, 0.01, 0.004]
+K = 10
+
+
+def test_exec_time_vs_density(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "fig_exec_time_vs_density",
+        ["density", "algo", "cpu_ms", "io_ms", "total_ms"],
+    )
+
+    def run():
+        results = {}
+        for density in DENSITIES:
+            oi = make_objects(bench_net, bench_index, density)
+            results[density] = run_workload(
+                bench_index, bench_net, oi, bench_queries, K
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for density in DENSITIES:
+        for name in ALL_ALGOS:
+            m = results[density][name]
+            recorder.add(density, name, m.cpu * 1e3, m.io * 1e3, m.total * 1e3)
+    recorder.emit(capsys)
+
+    # --- shape assertions -------------------------------------------------
+    for density in DENSITIES:
+        r = results[density]
+        # IER is always slowest (p.33: "IER always slowest").
+        others = [r[n].total for n in ALL_ALGOS if n != "ier"]
+        assert r["ier"].total >= max(others), f"IER not slowest at p={density}"
+
+    # SILC wins big at sparse S; the gap narrows as S densifies.
+    sparse, dense = DENSITIES[-1], DENSITIES[0]
+    gap_sparse = results[sparse]["ine"].total / results[sparse]["knn"].total
+    gap_dense = results[dense]["ine"].total / results[dense]["knn"].total
+    assert gap_sparse > 2.0, f"kNN should dominate INE at p={sparse} ({gap_sparse:.2f}x)"
+    assert gap_sparse > gap_dense, "INE must close the gap as S densifies"
+
+    benchmark.extra_info["ine_over_knn_sparse"] = gap_sparse
+    benchmark.extra_info["ine_over_knn_dense"] = gap_dense

@@ -1,0 +1,54 @@
+"""F5 (paper p.36): share of neighbors pruned against KMINDIST (kNN-M).
+
+An object whose distance upper bound falls below KMINDIST is added to
+the result without any ordering refinement -- the paper measures what
+fraction of the k reported neighbors took that fast path (up to
+80-90% on their setup), growing with k and with density.
+"""
+
+from bench_lib import SeriesRecorder, make_objects, run_workload
+
+DENSITIES = [0.2, 0.1, 0.05, 0.01]
+KS = [10, 25, 50, 100, 150]
+
+
+def test_kmindist_pruning(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "fig_kmindist_pruning",
+        ["sweep", "value", "accepts_per_query", "pct_of_k"],
+    )
+
+    def run():
+        by_density = {}
+        for density in DENSITIES:
+            oi = make_objects(bench_net, bench_index, density)
+            by_density[density] = run_workload(
+                bench_index, bench_net, oi, bench_queries, 10,
+                algos=("knn_m",), with_io=False,
+            )["knn_m"]
+        oi = make_objects(bench_net, bench_index, 0.07)
+        by_k = {
+            k: run_workload(
+                bench_index, bench_net, oi, bench_queries, k,
+                algos=("knn_m",), with_io=False,
+            )["knn_m"]
+            for k in KS
+        }
+        return by_density, by_k
+
+    by_density, by_k = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for density, m in by_density.items():
+        recorder.add("density", density, m.kmindist_accepts,
+                     100.0 * m.kmindist_accepts / 10)
+    pct_by_k = {}
+    for k, m in by_k.items():
+        pct = 100.0 * m.kmindist_accepts / k
+        pct_by_k[k] = pct
+        recorder.add("k", k, m.kmindist_accepts, pct)
+    recorder.emit(capsys)
+
+    # The fast path must fire meaningfully and grow with k.
+    assert pct_by_k[KS[-1]] > 20.0, "KMINDIST accepts too rare at large k"
+    assert pct_by_k[KS[-1]] > pct_by_k[KS[0]], "accept share must grow with k"
+    benchmark.extra_info["pct_at_largest_k"] = pct_by_k[KS[-1]]

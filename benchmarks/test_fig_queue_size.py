@@ -1,0 +1,65 @@
+"""F3 (paper p.34): maximum priority-queue size relative to INN.
+
+INN cannot prune insertions with Dk, so its queue is the 100%
+baseline.  The paper reports the pruned variants at ~35% of INN on
+average, with the savings shrinking as k grows (overlapping intervals
+blunt Dk).  We reproduce both series: queue ratio vs density (k=10)
+and vs k (S=0.07N).
+"""
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, SILC_VARIANTS, make_objects, run_workload
+
+DENSITIES = [0.2, 0.1, 0.05, 0.01]
+KS = [5, 10, 25, 50, 100]
+PRUNED = ("knn", "knn_i", "knn_m")
+
+
+def test_queue_size_ratios(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "fig_queue_size",
+        ["sweep", "value", "algo", "max_queue", "pct_of_inn"],
+    )
+
+    def run():
+        by_density = {}
+        for density in DENSITIES:
+            oi = make_objects(bench_net, bench_index, density)
+            by_density[density] = run_workload(
+                bench_index, bench_net, oi, bench_queries, 10,
+                algos=SILC_VARIANTS, with_io=False,
+            )
+        oi = make_objects(bench_net, bench_index, 0.07)
+        by_k = {
+            k: run_workload(
+                bench_index, bench_net, oi, bench_queries, k,
+                algos=SILC_VARIANTS, with_io=False,
+            )
+            for k in KS
+        }
+        return by_density, by_k
+
+    by_density, by_k = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ratios_small_k = []
+    for density, r in by_density.items():
+        for name in PRUNED:
+            pct = 100.0 * r[name].max_queue / r["inn"].max_queue
+            recorder.add("density", density, name, r[name].max_queue, pct)
+            ratios_small_k.append(pct)
+    ratios_by_k = {}
+    for k, r in by_k.items():
+        for name in PRUNED:
+            pct = 100.0 * r[name].max_queue / r["inn"].max_queue
+            recorder.add("k", k, name, r[name].max_queue, pct)
+            ratios_by_k.setdefault(k, []).append(pct)
+    recorder.emit(capsys)
+
+    # Pruned variants never need a larger queue than INN.
+    assert max(ratios_small_k) <= 101.0
+    # Real savings exist at k=10 across densities.
+    assert np.mean(ratios_small_k) < 95.0
+    # Savings shrink as k grows (paper: "savings vanish").
+    assert np.mean(ratios_by_k[KS[-1]]) > np.mean(ratios_by_k[KS[0]]) - 5.0
+    benchmark.extra_info["mean_pct_of_inn_k10"] = float(np.mean(ratios_small_k))

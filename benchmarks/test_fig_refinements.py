@@ -1,0 +1,59 @@
+"""F4 (paper p.35): refinement operations relative to INN.
+
+The paper's reading: the kNN family never refines more than INN, and
+kNN-M's KMINDIST fast path eliminates a large share -- "at least 30%
+of refinements in kNN are devoted to developing a total ordering".
+"""
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, SILC_VARIANTS, make_objects, run_workload
+
+DENSITIES = [0.2, 0.1, 0.05, 0.01]
+KS = [5, 10, 25, 50, 100]
+
+
+def test_refinement_ratios(benchmark, capsys, bench_net, bench_index, bench_queries):
+    recorder = SeriesRecorder(
+        "fig_refinements",
+        ["sweep", "value", "algo", "refinements", "pct_of_inn"],
+    )
+
+    def run():
+        by_density = {}
+        for density in DENSITIES:
+            oi = make_objects(bench_net, bench_index, density)
+            by_density[density] = run_workload(
+                bench_index, bench_net, oi, bench_queries, 10,
+                algos=SILC_VARIANTS, with_io=False,
+            )
+        oi = make_objects(bench_net, bench_index, 0.07)
+        by_k = {
+            k: run_workload(
+                bench_index, bench_net, oi, bench_queries, k,
+                algos=SILC_VARIANTS, with_io=False,
+            )
+            for k in KS
+        }
+        return by_density, by_k
+
+    by_density, by_k = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    knn_m_pcts = []
+    for sweep, table in (("density", by_density), ("k", by_k)):
+        for value, r in table.items():
+            base = max(r["inn"].refinements, 1e-9)
+            for name in ("knn", "knn_i", "knn_m"):
+                pct = 100.0 * r[name].refinements / base
+                recorder.add(sweep, value, name, r[name].refinements, pct)
+                if name == "knn_m":
+                    knn_m_pcts.append(pct)
+                # No variant should refine more than INN.
+                assert pct <= 102.0, f"{name} refines more than INN at {sweep}={value}"
+    recorder.emit(capsys)
+
+    # kNN-M removes a substantial share of refinements somewhere in the
+    # sweep (the paper's headline for this figure).
+    assert min(knn_m_pcts) < 85.0, f"kNN-M min {min(knn_m_pcts):.1f}% of INN"
+    benchmark.extra_info["knn_m_min_pct"] = float(min(knn_m_pcts))
+    benchmark.extra_info["knn_m_mean_pct"] = float(np.mean(knn_m_pcts))

@@ -1,0 +1,42 @@
+"""F1 (paper p.16): Morton blocks vs vertices -- the O(N^1.5) slope.
+
+The paper plots total Morton blocks against network size on log-log
+axes and reads off a slope of ~1.5, validating the per-vertex
+O(sqrt(N)) quadtree size.  We rebuild SILC indexes for a sweep of
+network sizes and fit the same regression.
+"""
+
+import numpy as np
+
+from bench_lib import BENCH_SEED, SeriesRecorder, cached_index, cached_network
+
+SIZES = [500, 1000, 2000, 4000]
+
+
+def test_storage_slope(benchmark, capsys):
+    recorder = SeriesRecorder(
+        "fig_storage_slope",
+        ["n_vertices", "morton_blocks", "blocks_per_vertex", "bytes_16B_records"],
+    )
+
+    def sweep():
+        counts = []
+        for n in SIZES:
+            index = cached_index(n)
+            counts.append(index.total_blocks())
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, blocks in zip(SIZES, counts):
+        recorder.add(n, blocks, blocks / n, blocks * 16)
+
+    slope = np.polyfit(np.log(SIZES), np.log(counts), 1)[0]
+    recorder.add("slope", float(slope), "", "")
+    recorder.emit(capsys)
+    benchmark.extra_info["loglog_slope"] = float(slope)
+
+    # Paper: slope = 1.5.  Accept the road-like generator's jitter band.
+    assert 1.25 <= slope <= 1.85, f"storage slope {slope:.3f} far from 1.5"
+    # Sub-quadratic, super-linear: the headline storage claim.
+    for n, blocks in zip(SIZES, counts):
+        assert n < blocks < n * n

@@ -1,0 +1,104 @@
+"""T1 (paper p.11): the space / query-time trade-off table.
+
+Measures, on one moderate network, every storage scheme the paper
+tabulates (plus the PCP oracle of the "beyond SILC" section):
+
+==================  =========  ==============  ================
+scheme              space      path retrieval  distance query
+==================  =========  ==============  ================
+explicit paths      O(N^3)     O(1)            O(1)
+next-hop matrix     O(N^2)     O(k)            O(1)
+Dijkstra            O(M + N)   O(M + N log N)  O(M + N log N)
+SILC                O(N^1.5)   O(k log N)      approx/refined
+PCP distance oracle O(eps^-2 N)  --            eps-approx O(log N)
+==================  =========  ==============  ================
+"""
+
+import time
+
+import numpy as np
+
+from bench_lib import SeriesRecorder, cached_network
+from repro.baselines import ExplicitPathStorage, NextHopMatrix
+from repro.network import shortest_path
+from repro.silc import SILCIndex
+from repro.silc.pcp import PCPOracle
+
+N = 400
+QUERY_PAIRS = 40
+
+
+def test_storage_tradeoffs(benchmark, capsys):
+    recorder = SeriesRecorder(
+        "table_storage_tradeoffs",
+        ["scheme", "storage_bytes", "path_us", "distance_us", "notes"],
+    )
+    net = cached_network(N)
+    rng = np.random.default_rng(7)
+    pairs = [tuple(map(int, rng.integers(0, N, 2))) for _ in range(QUERY_PAIRS)]
+
+    def build_all():
+        return (
+            SILCIndex.build(net),
+            NextHopMatrix.build(net),
+            ExplicitPathStorage.build(net),
+            PCPOracle.build(net, epsilon=0.25),
+        )
+
+    silc, nexthop, explicit, pcp = benchmark.pedantic(
+        build_all, rounds=1, iterations=1
+    )
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        for u, v in pairs:
+            fn(u, v)
+        return (time.perf_counter() - t0) / QUERY_PAIRS * 1e6
+
+    rows = {
+        "explicit": (
+            explicit.storage_bytes(),
+            timed(explicit.path),
+            timed(explicit.distance),
+            "O(N^3) space",
+        ),
+        "next_hop": (
+            nexthop.storage_bytes(),
+            timed(nexthop.path),
+            timed(nexthop.distance),
+            "O(N^2) space",
+        ),
+        "dijkstra": (
+            0,
+            timed(lambda u, v: shortest_path(net, u, v)),
+            timed(lambda u, v: shortest_path(net, u, v)),
+            "no precompute",
+        ),
+        "silc": (
+            silc.storage_bytes(16),
+            timed(silc.path),
+            timed(silc.distance),
+            "O(N^1.5) space",
+        ),
+        "pcp_oracle": (
+            pcp.storage_bytes(32),
+            float("nan"),
+            timed(pcp.distance),
+            f"eps={pcp.epsilon} approx",
+        ),
+    }
+    for scheme, (bytes_, path_us, dist_us, notes) in rows.items():
+        recorder.add(scheme, bytes_, path_us, dist_us, notes)
+    recorder.emit(capsys)
+
+    # --- the paper's orderings --------------------------------------------
+    assert rows["explicit"][0] > rows["next_hop"][0] > rows["silc"][0]
+    # Path retrieval from any precomputed scheme crushes Dijkstra.
+    assert rows["silc"][1] < rows["dijkstra"][1]
+    assert rows["next_hop"][1] < rows["dijkstra"][1]
+    # The PCP oracle's approximate distance beats running Dijkstra.
+    assert rows["pcp_oracle"][2] < rows["dijkstra"][2]
+    benchmark.extra_info["silc_bytes"] = rows["silc"][0]
+    benchmark.extra_info["next_hop_bytes"] = rows["next_hop"][0]
+    benchmark.extra_info["pcp_distance_us"] = rows["pcp_oracle"][2]
+    benchmark.extra_info["silc_distance_us"] = rows["silc"][2]

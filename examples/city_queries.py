@@ -1,0 +1,102 @@
+"""Beyond kNN: the other spatial-network queries SILC supports.
+
+The paper's closing claim is that SILC is "a general framework for
+query processing in spatial networks -- not restricted to nearest
+neighbor queries" (p.40).  This example runs the whole extended query
+surface over one city and one index:
+
+* incremental distance browsing (the title operation),
+* network-distance range queries,
+* epsilon-approximate kNN (refinements vs accuracy dial),
+* aggregate nearest neighbors (best meeting point for a group),
+* distance joins (closest pairs across two object sets),
+* localized index maintenance after a road closure.
+
+Run:  python examples/city_queries.py
+"""
+
+import itertools
+
+from repro import (
+    ObjectIndex,
+    SILCIndex,
+    aggregate_nn,
+    approximate_knn,
+    browse,
+    distance_join,
+    range_query,
+    road_like_network,
+    update_index,
+)
+from repro.datasets import random_vertex_objects
+
+
+def main() -> None:
+    city = road_like_network(900, seed=19)
+    index = SILCIndex.build(city)
+    cafes = random_vertex_objects(city, count=35, seed=4)
+    cafe_index = ObjectIndex(city, cafes, index.embedding)
+    home = 17
+
+    # --- incremental browsing: take neighbors until satisfied --------
+    print("browsing cafes outward from home until one is 'open':")
+    open_ids = {oid for oid in cafes.ids if oid % 3 == 0}  # fake opening hours
+    for n in browse(index, cafe_index, home):
+        status = "open" if n.oid in open_ids else "closed"
+        print(f"  cafe {n.oid:2d}  distance in [{n.interval.lo:6.2f}, "
+              f"{n.interval.hi:6.2f}]  {status}")
+        if n.oid in open_ids:
+            break
+
+    # --- range query: everything within a 12-unit ride ---------------
+    nearby = range_query(index, cafe_index, home, radius=12.0)
+    print(f"\ncafes within 12 units of home: {sorted(nearby.ids())} "
+          f"({nearby.stats.refinements} refinements)")
+
+    # --- the accuracy dial --------------------------------------------
+    exact = approximate_knn(index, cafe_index, home, 8, epsilon=0.0)
+    rough = approximate_knn(index, cafe_index, home, 8, epsilon=0.5)
+    print(
+        f"\nexact top-8 cost {exact.stats.refinements} refinements; "
+        f"50%-approximate top-8 cost {rough.stats.refinements} "
+        f"(same neighborhood, certified within 1.5x)"
+    )
+
+    # --- meeting point for three friends ------------------------------
+    friends = [home, 433, 788]
+    meet = aggregate_nn(index, cafe_index, friends, k=3, agg="sum")
+    print("\nbest meeting cafes for friends at "
+          f"{friends} (total travel):")
+    for n in meet.neighbors:
+        print(f"  cafe {n.oid:2d}  total distance {n.distance:.2f}")
+    fair = aggregate_nn(index, cafe_index, friends, k=1, agg="max")
+    print(f"fairest cafe (minimax travel): {fair.neighbors[0].oid} "
+          f"(worst member rides {fair.neighbors[0].distance:.2f})")
+
+    # --- closest warehouse-store pairs --------------------------------
+    warehouses = random_vertex_objects(city, count=6, seed=8)
+    wh_index = ObjectIndex(city, warehouses, index.embedding)
+    pairs = distance_join(index, wh_index, cafe_index, k=4)
+    print("\nclosest (warehouse, cafe) pairs:")
+    for w, c, d in pairs:
+        print(f"  warehouse {w} -> cafe {c}: {d:.2f}")
+
+    # --- a road closes; patch the index locally -----------------------
+    route = index.path(home, 700)
+    a, b = route[len(route) // 2], route[len(route) // 2 + 1]
+    closed = city.without_edges([(a, b), (b, a)])
+    if closed.num_strongly_connected_components() == 1:
+        patched, rebuilt = update_index(index, closed)
+        print(
+            f"\nroad {a}<->{b} closed: rebuilt {len(rebuilt)} of "
+            f"{city.num_vertices} shortest-path quadtrees "
+            f"({100 * len(rebuilt) / city.num_vertices:.1f}% of the index)"
+        )
+        new_cafe_index = ObjectIndex(closed, cafes, patched.embedding)
+        before = next(browse(index, cafe_index, home))
+        after = next(browse(patched, new_cafe_index, home))
+        print(f"nearest cafe before: {before.oid}, after: {after.oid}")
+
+
+if __name__ == "__main__":
+    main()

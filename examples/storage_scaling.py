@@ -1,0 +1,76 @@
+"""Storage scaling and the continental-US extrapolation (pp.16, 27).
+
+Measures the O(N^1.5) Morton-block growth on live builds, then runs
+the paper's back-of-the-envelope "Musings on How Realistic is the
+Approach" calculation for the 24-million-vertex US road network:
+storage in terabytes and precompute wall-time on machine fleets of
+various sizes.
+
+Run:  python examples/storage_scaling.py
+"""
+
+import math
+import time
+
+import numpy as np
+
+from repro import SILCIndex, road_like_network
+
+SIZES = [400, 800, 1600, 3200]
+US_VERTICES = 24_000_000
+BYTES_PER_BLOCK = 8  # the paper's figure (code-only records)
+
+
+def measured_sweep() -> float:
+    """Build indexes across sizes; return the fitted log-log slope."""
+    print(f"{'vertices':>9} {'blocks':>10} {'blocks/N':>9} "
+          f"{'c = blocks/N^1.5':>17} {'build_s':>8}")
+    counts = []
+    for n in SIZES:
+        net = road_like_network(n, seed=31)
+        t0 = time.perf_counter()
+        index = SILCIndex.build(net, chunk_size=256)
+        dt = time.perf_counter() - t0
+        blocks = index.total_blocks()
+        counts.append(blocks)
+        print(f"{n:9d} {blocks:10d} {blocks / n:9.1f} "
+              f"{blocks / n**1.5:17.2f} {dt:8.2f}")
+    slope = float(np.polyfit(np.log(SIZES), np.log(counts), 1)[0])
+    print(f"\nlog-log slope: {slope:.3f}  (paper: 1.5)")
+    return slope
+
+
+def musings(c: float = 2.0, seconds_per_source: float = 10.0) -> None:
+    """The paper's p.27 extrapolation, parameterized by measurements."""
+    blocks = c * US_VERTICES * math.sqrt(US_VERTICES)
+    tb = blocks * BYTES_PER_BLOCK / 1e12
+    print(f"\ncontinental US at N = {US_VERTICES:,} vertices, c = {c}:")
+    print(f"  storage: {blocks:.3g} Morton blocks = {tb:.1f} TB "
+          f"at {BYTES_PER_BLOCK} B/block (paper: 1.8 TB)")
+    total = US_VERTICES * seconds_per_source
+    for machines, label in (
+        (1, "single machine"),
+        (2_000, "modest cluster of 2,000"),
+        (500_000, "Google-scale fleet of 500,000"),
+    ):
+        seconds = total / machines
+        if seconds >= 86400:
+            human = f"{seconds / 86400:.1f} days"
+        elif seconds >= 3600:
+            human = f"{seconds / 3600:.1f} hours"
+        else:
+            human = f"{seconds:.0f} seconds"
+        print(f"  precompute on {label}: {human}")
+    print("  (the build is data-parallel: one source per task, no "
+          "coordination -- the paper's 'mostly a one-time effort')")
+
+
+def main() -> None:
+    slope = measured_sweep()
+    musings()
+    if not (1.2 <= slope <= 1.9):
+        raise SystemExit(f"unexpected storage slope {slope:.2f}")
+
+
+if __name__ == "__main__":
+    main()

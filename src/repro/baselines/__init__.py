@@ -1,0 +1,16 @@
+"""Baseline all-pairs storage schemes from the paper's Table (p.11).
+
+These are the rows SILC is compared against:
+
+* :class:`ExplicitPathStorage` -- every shortest path materialized,
+  O(N^3) space, O(1) per path link;
+* :class:`NextHopMatrix` -- the classic next-hop (routing-table)
+  matrix, O(N^2) space, O(k) path retrieval;
+* Dijkstra with no precomputation is the third row, provided by
+  :mod:`repro.network.dijkstra`.
+"""
+
+from repro.baselines.explicit import ExplicitPathStorage
+from repro.baselines.next_hop import NextHopMatrix
+
+__all__ = ["ExplicitPathStorage", "NextHopMatrix"]

@@ -1,0 +1,63 @@
+"""The O(N^3) explicit path storage baseline.
+
+Materializes the full vertex sequence of every shortest path.  Only
+feasible for the small networks of the Table-1 measurement -- which is
+the paper's point: at 24M vertices this representation is physically
+impossible, motivating everything else in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.next_hop import NextHopMatrix
+from repro.network.graph import SpatialNetwork
+
+
+class ExplicitPathStorage:
+    """All shortest paths stored as explicit vertex lists."""
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        paths: dict[tuple[int, int], tuple[int, ...]],
+        dist: np.ndarray,
+    ) -> None:
+        self.network = network
+        self.paths = paths
+        self.dist = dist
+
+    @classmethod
+    def build(cls, network: SpatialNetwork, max_vertices: int = 1500) -> "ExplicitPathStorage":
+        """Materialize every path (guarded against oversized inputs).
+
+        ``max_vertices`` protects interactive use: the structure is
+        cubic and must stay a measurement-only artifact.
+        """
+        n = network.num_vertices
+        if n > max_vertices:
+            raise ValueError(
+                f"explicit path storage is O(N^3); refusing n={n} > "
+                f"max_vertices={max_vertices}"
+            )
+        hops = NextHopMatrix.build(network)
+        paths: dict[tuple[int, int], tuple[int, ...]] = {}
+        for s in range(n):
+            for t in range(n):
+                if s == t:
+                    continue
+                paths[(s, t)] = tuple(hops.path(s, t))
+        return cls(network, paths, hops.dist)
+
+    def path(self, source: int, target: int) -> list[int]:
+        """O(1) lookup of the stored path."""
+        if source == target:
+            return [source]
+        return list(self.paths[(source, target)])
+
+    def distance(self, source: int, target: int) -> float:
+        return float(self.dist[source, target])
+
+    def storage_bytes(self, bytes_per_vertex_id: int = 4) -> int:
+        """Total path-vertex storage (the paper's O(N^3) row)."""
+        return sum(len(p) for p in self.paths.values()) * bytes_per_vertex_id

@@ -1,0 +1,64 @@
+"""The O(N^2) next-hop matrix baseline.
+
+Stores, for every ordered vertex pair, the first hop of the shortest
+path -- the scheme SILC compresses by exploiting the spatial coherence
+of equal-hop destinations.  Kept dense (one int32 per pair) so the
+storage comparison of the paper's Table (p.11) can be measured rather
+than asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.allpairs import all_pairs_rows
+from repro.network.errors import PathNotFound
+from repro.network.graph import SpatialNetwork
+
+
+class NextHopMatrix:
+    """Dense all-pairs first-hop matrix with exact distances."""
+
+    def __init__(self, network: SpatialNetwork, first_hops: np.ndarray, dist: np.ndarray) -> None:
+        self.network = network
+        self.first_hops = first_hops
+        self.dist = dist
+
+    @classmethod
+    def build(cls, network: SpatialNetwork, chunk_size: int = 128) -> "NextHopMatrix":
+        network.require_strongly_connected()
+        n = network.num_vertices
+        first = np.empty((n, n), dtype=np.int32)
+        dist = np.empty((n, n), dtype=np.float64)
+        for source, drow, frow in all_pairs_rows(network, chunk_size=chunk_size):
+            first[source] = frow
+            dist[source] = drow
+        return cls(network, first, dist)
+
+    def next_hop(self, source: int, target: int) -> int:
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        hop = int(self.first_hops[source, target])
+        if hop < 0:
+            raise PathNotFound(source, target)
+        return hop
+
+    def path(self, source: int, target: int) -> list[int]:
+        """Path retrieval in O(path length) matrix probes."""
+        path = [source]
+        guard = self.network.num_vertices
+        while path[-1] != target:
+            path.append(self.next_hop(path[-1], target))
+            if len(path) > guard:
+                raise RuntimeError("inconsistent next-hop matrix")
+        return path
+
+    def distance(self, source: int, target: int) -> float:
+        """O(1) distance lookup."""
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        return float(self.dist[source, target])
+
+    def storage_bytes(self) -> int:
+        """Bytes for the hop matrix alone (the paper's O(N^2) row)."""
+        return self.first_hops.nbytes

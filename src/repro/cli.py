@@ -1,0 +1,162 @@
+"""Command-line interface for the SILC toolkit.
+
+A small operational surface so the library can be driven without
+writing Python -- generate networks, run the precompute, persist the
+index, and answer queries from the shell::
+
+    python -m repro generate --kind road --size 1000 --seed 7 net.txt
+    python -m repro build net.txt index.npz
+    python -m repro stats net.txt index.npz
+    python -m repro path net.txt index.npz 0 250
+    python -m repro knn net.txt index.npz --query 0 --k 5 --objects 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.datasets import random_vertex_objects
+from repro.network import (
+    grid_network,
+    load_text,
+    random_planar_network,
+    road_like_network,
+    save_text,
+)
+from repro.objects import ObjectIndex
+from repro.query import knn
+from repro.silc import SILCIndex
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "road":
+        net = road_like_network(args.size, seed=args.seed)
+    elif args.kind == "grid":
+        side = max(2, int(round(args.size**0.5)))
+        net = grid_network(side, side, jitter=0.2, weight_noise=0.2, seed=args.seed)
+    else:
+        net = random_planar_network(args.size, seed=args.seed)
+    save_text(net, args.network)
+    print(
+        f"wrote {args.kind} network: {net.num_vertices} vertices, "
+        f"{net.num_edges} edges -> {args.network}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    net = load_text(args.network)
+    t0 = time.perf_counter()
+    last_report = [0.0]
+
+    def progress(done: int, total: int) -> None:
+        now = time.perf_counter()
+        if now - last_report[0] >= 2.0 or done == total:
+            last_report[0] = now
+            print(f"  {done}/{total} sources", file=sys.stderr)
+
+    index = SILCIndex.build(net, progress=progress)
+    index.save(args.index)
+    dt = time.perf_counter() - t0
+    print(
+        f"built SILC index in {dt:.1f}s: {index.total_blocks()} Morton "
+        f"blocks ({index.storage_bytes() / 1024:.0f} KiB) -> {args.index}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    net = load_text(args.network)
+    index = SILCIndex.load(args.index, net)
+    per_vertex = index.blocks_per_vertex()
+    print(f"vertices:        {net.num_vertices}")
+    print(f"edges:           {net.num_edges}")
+    print(f"morton blocks:   {index.total_blocks()}")
+    print(f"blocks/vertex:   {per_vertex.mean():.1f} "
+          f"(min {per_vertex.min()}, max {per_vertex.max()})")
+    print(f"storage (16 B):  {index.storage_bytes() / 1024:.0f} KiB")
+    print(f"grid order:      {index.embedding.order}")
+    n = net.num_vertices
+    print(f"blocks/N^1.5:    {index.total_blocks() / n**1.5:.2f}")
+    return 0
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    net = load_text(args.network)
+    index = SILCIndex.load(args.index, net)
+    path = index.path(args.source, args.target)
+    dist = index.distance(args.source, args.target)
+    print(" -> ".join(map(str, path)))
+    print(f"network distance: {dist:.6g} ({len(path) - 1} links)")
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    net = load_text(args.network)
+    index = SILCIndex.load(args.index, net)
+    objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
+    object_index = ObjectIndex(net, objects, index.embedding)
+    result = knn(index, object_index, args.query, args.k, exact=True)
+    for rank, n in enumerate(result.neighbors, start=1):
+        vertex = objects[n.oid].position.vertex
+        print(f"#{rank}  object {n.oid}  vertex {vertex}  "
+              f"distance {n.distance:.6g}")
+    print(
+        f"({result.stats.refinements} refinements, "
+        f"peak queue {result.stats.max_queue})"
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SILC: scalable network distance browsing (SIGMOD 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic network")
+    p.add_argument("network", help="output network file (text format)")
+    p.add_argument("--kind", choices=["road", "grid", "planar"], default="road")
+    p.add_argument("--size", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("build", help="run the SILC precompute")
+    p.add_argument("network")
+    p.add_argument("index", help="output index file (.npz)")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("stats", help="report index statistics")
+    p.add_argument("network")
+    p.add_argument("index")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("path", help="retrieve a shortest path")
+    p.add_argument("network")
+    p.add_argument("index")
+    p.add_argument("source", type=int)
+    p.add_argument("target", type=int)
+    p.set_defaults(func=_cmd_path)
+
+    p = sub.add_parser("knn", help="k nearest random objects to a vertex")
+    p.add_argument("network")
+    p.add_argument("index")
+    p.add_argument("--query", type=int, required=True)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--objects", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_knn)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Query workloads: reproducible batches of kNN queries.
+
+The paper runs "each query on at least 50 random input datasets of the
+same size" (p.32); a :class:`Workload` captures one such batch --
+query vertices plus the object set -- under a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.objects import random_vertex_objects
+from repro.network.graph import SpatialNetwork
+from repro.objects.model import ObjectSet
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A batch of queries against one object set."""
+
+    network: SpatialNetwork
+    objects: ObjectSet
+    queries: list[int]
+    k: int
+    seed: int
+
+    @property
+    def density(self) -> float:
+        return len(self.objects) / self.network.num_vertices
+
+
+def knn_workload(
+    network: SpatialNetwork,
+    density: float,
+    k: int,
+    num_queries: int = 20,
+    seed: int = 0,
+) -> Workload:
+    """A reproducible kNN workload at the paper's parameters.
+
+    Query vertices are sampled independently of the object set (the
+    decoupling the paper stresses: the same index serves any S and any
+    q).
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    objects = random_vertex_objects(network, density=density, seed=seed + 1)
+    queries = [int(v) for v in rng.integers(0, network.num_vertices, num_queries)]
+    return Workload(
+        network=network, objects=objects, queries=queries, k=k, seed=seed
+    )

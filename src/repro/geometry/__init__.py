@@ -1,0 +1,46 @@
+"""Planar geometry substrate for the SILC reproduction.
+
+The spatial-network vertices live in the Euclidean plane.  Every higher
+layer of the library (quadtrees, SILC distance intervals, the object
+index) is expressed in terms of the primitives defined here:
+
+* :class:`~repro.geometry.point.Point` -- immutable 2-D points with the
+  Euclidean metric,
+* :class:`~repro.geometry.rect.Rect` -- axis-aligned rectangles with
+  min/max point-to-rectangle distances,
+* :mod:`~repro.geometry.morton` -- Morton (Z-order) codes and the
+  Morton-block algebra used by shortest-path quadtrees,
+* :class:`~repro.geometry.grid.GridEmbedding` -- the mapping between
+  world coordinates and the ``2^q x 2^q`` quadtree grid.
+"""
+
+from repro.geometry.point import Point, euclidean
+from repro.geometry.rect import Rect
+from repro.geometry.morton import (
+    MAX_ORDER,
+    morton_decode,
+    morton_encode,
+    block_cells,
+    block_contains,
+    block_rect,
+    blocks_overlap,
+    child_blocks,
+    parent_block,
+)
+from repro.geometry.grid import GridEmbedding
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "Rect",
+    "MAX_ORDER",
+    "morton_encode",
+    "morton_decode",
+    "block_cells",
+    "block_contains",
+    "block_rect",
+    "blocks_overlap",
+    "child_blocks",
+    "parent_block",
+    "GridEmbedding",
+]

@@ -1,0 +1,271 @@
+"""The spatial network: a weighted directed graph embedded in the plane.
+
+This is the substrate every part of the paper runs on.  Each vertex
+carries a planar position (a road intersection); each directed edge a
+positive travel cost (road-segment length or time).  The class is a
+frozen, validated container optimized for the two access patterns the
+reproduction needs:
+
+* fast neighbor scans in pure-Python Dijkstra/A* (adjacency lists of
+  ``(target, weight)`` tuples), and
+* bulk linear algebra in the SILC precompute (scipy CSR matrix and
+  numpy coordinate arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.errors import (
+    DisconnectedNetwork,
+    EdgeNotFound,
+    GraphConstructionError,
+    VertexNotFound,
+)
+
+
+class SpatialNetwork:
+    """A directed, positively weighted graph with planar vertex positions.
+
+    Parameters
+    ----------
+    xs, ys:
+        Vertex coordinates; vertex ids are the array indices
+        ``0 .. n-1``.
+    edges:
+        Iterable of ``(source, target, weight)`` triples.  Weights must
+        be strictly positive; parallel edges collapse to the minimum
+        weight (the cheaper road wins, as in any route planner).
+
+    Notes
+    -----
+    Instances are immutable after construction.  Use
+    :meth:`with_edges` / :meth:`without_edges` to derive modified
+    networks (e.g. for the road-closure example).
+    """
+
+    __slots__ = ("xs", "ys", "_adj", "_radj", "_edge_count", "_csr_cache", "_ratio_cache")
+
+    def __init__(
+        self,
+        xs: Sequence[float] | np.ndarray,
+        ys: Sequence[float] | np.ndarray,
+        edges: Iterable[tuple[int, int, float]],
+    ) -> None:
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        if self.xs.ndim != 1 or self.ys.ndim != 1:
+            raise GraphConstructionError("coordinate arrays must be 1-D")
+        if self.xs.shape != self.ys.shape:
+            raise GraphConstructionError(
+                f"coordinate arrays disagree: {self.xs.shape} vs {self.ys.shape}"
+            )
+        if self.xs.size == 0:
+            raise GraphConstructionError("a spatial network needs at least one vertex")
+        if not (np.isfinite(self.xs).all() and np.isfinite(self.ys).all()):
+            raise GraphConstructionError("vertex coordinates must be finite")
+
+        n = self.xs.size
+        best: list[dict[int, float]] = [dict() for _ in range(n)]
+        for u, v, w in edges:
+            if not (0 <= u < n):
+                raise VertexNotFound(u, n)
+            if not (0 <= v < n):
+                raise VertexNotFound(v, n)
+            if u == v:
+                raise GraphConstructionError(f"self-loop at vertex {u}")
+            wf = float(w)
+            if not (wf > 0.0) or not np.isfinite(wf):
+                raise GraphConstructionError(
+                    f"edge {u}->{v} has non-positive or non-finite weight {w}"
+                )
+            prev = best[u].get(v)
+            if prev is None or wf < prev:
+                best[u][v] = wf
+
+        self._adj: list[tuple[tuple[int, float], ...]] = [
+            tuple(sorted(d.items())) for d in best
+        ]
+        radj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for u, d in enumerate(best):
+            for v, w in d.items():
+                radj[v].append((u, w))
+        self._radj: list[tuple[tuple[int, float], ...]] = [
+            tuple(sorted(r)) for r in radj
+        ]
+        self._edge_count = sum(len(d) for d in best)
+        self._csr_cache: sparse.csr_matrix | None = None
+        self._ratio_cache: float | None = None
+
+    # ------------------------------------------------------------------
+    # Sizes and iteration
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return int(self.xs.size)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield every directed edge as ``(source, target, weight)``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs:
+                yield (u, v, w)
+
+    # ------------------------------------------------------------------
+    # Vertex / edge access
+    # ------------------------------------------------------------------
+    def check_vertex(self, u: int) -> int:
+        if not (0 <= u < self.num_vertices):
+            raise VertexNotFound(u, self.num_vertices)
+        return u
+
+    def vertex_point(self, u: int) -> Point:
+        self.check_vertex(u)
+        return Point(float(self.xs[u]), float(self.ys[u]))
+
+    def neighbors(self, u: int) -> tuple[tuple[int, float], ...]:
+        """Outgoing ``(target, weight)`` pairs of ``u``, sorted by target."""
+        self.check_vertex(u)
+        return self._adj[u]
+
+    def in_neighbors(self, u: int) -> tuple[tuple[int, float], ...]:
+        """Incoming ``(source, weight)`` pairs of ``u``, sorted by source."""
+        self.check_vertex(u)
+        return self._radj[u]
+
+    def out_degree(self, u: int) -> int:
+        return len(self.neighbors(u))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the directed edge ``u -> v``.
+
+        Raises :class:`EdgeNotFound` if the edge does not exist.
+        """
+        for t, w in self.neighbors(u):
+            if t == v:
+                return w
+        raise EdgeNotFound(u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        try:
+            self.edge_weight(u, v)
+        except EdgeNotFound:
+            return False
+        return True
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Straight-line ("as the crow flies") distance between vertices."""
+        self.check_vertex(u)
+        self.check_vertex(v)
+        return float(np.hypot(self.xs[u] - self.xs[v], self.ys[u] - self.ys[v]))
+
+    # ------------------------------------------------------------------
+    # Bulk / linear-algebra views
+    # ------------------------------------------------------------------
+    def to_csr(self) -> sparse.csr_matrix:
+        """The weighted adjacency matrix in CSR form (cached).
+
+        Missing edges are structural zeros, as expected by
+        :func:`scipy.sparse.csgraph.dijkstra`.
+        """
+        if self._csr_cache is None:
+            rows: list[int] = []
+            cols: list[int] = []
+            vals: list[float] = []
+            for u, v, w in self.iter_edges():
+                rows.append(u)
+                cols.append(v)
+                vals.append(w)
+            self._csr_cache = sparse.csr_matrix(
+                (vals, (rows, cols)),
+                shape=(self.num_vertices, self.num_vertices),
+            )
+        return self._csr_cache
+
+    def bounding_box(self) -> Rect:
+        return Rect(
+            float(self.xs.min()),
+            float(self.ys.min()),
+            float(self.xs.max()),
+            float(self.ys.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def num_strongly_connected_components(self) -> int:
+        n_comp, _ = csgraph.connected_components(self.to_csr(), connection="strong")
+        return int(n_comp)
+
+    def require_strongly_connected(self) -> None:
+        """Raise :class:`DisconnectedNetwork` unless the graph is one SCC.
+
+        The SILC precompute colors *every* vertex from every source, so
+        it calls this before doing any work.
+        """
+        n = self.num_strongly_connected_components()
+        if n != 1:
+            raise DisconnectedNetwork(n)
+
+    def min_euclidean_ratio(self) -> float:
+        """Smallest edge-weight / Euclidean-length ratio over all edges.
+
+        A ratio >= 1 means network distance dominates straight-line
+        distance, which makes Euclidean distance an admissible A*
+        heuristic (and the IER filter correct).  Generators in this
+        package guarantee ratio >= 1.  The value is cached: the graph
+        is immutable.
+        """
+        if self._ratio_cache is None:
+            ratio = np.inf
+            for u, v, w in self.iter_edges():
+                d = self.euclidean(u, v)
+                if d > 0:
+                    ratio = min(ratio, w / d)
+            self._ratio_cache = float(ratio)
+        return self._ratio_cache
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_edges(self, extra: Iterable[tuple[int, int, float]]) -> "SpatialNetwork":
+        """A new network with additional edges."""
+        return SpatialNetwork(
+            self.xs, self.ys, list(self.iter_edges()) + list(extra)
+        )
+
+    def without_edges(self, removed: Iterable[tuple[int, int]]) -> "SpatialNetwork":
+        """A new network with the given directed edges removed.
+
+        Models the paper's road-closure update scenario: derive a new
+        network and rebuild only what changed.
+        """
+        gone = set(removed)
+        kept = [(u, v, w) for u, v, w in self.iter_edges() if (u, v) not in gone]
+        return SpatialNetwork(self.xs, self.ys, kept)
+
+    def nearest_vertex(self, p: Point) -> int:
+        """The vertex closest (Euclidean) to an arbitrary world point.
+
+        Used to snap free-floating query locations onto the network.
+        """
+        d2 = (self.xs - p.x) ** 2 + (self.ys - p.y) ** 2
+        return int(np.argmin(d2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpatialNetwork(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

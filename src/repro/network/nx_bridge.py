@@ -1,0 +1,97 @@
+"""NetworkX interoperability.
+
+Most Python spatial-graph data arrives as a NetworkX graph (OSMnx road
+networks in particular).  These converters move such graphs in and out
+of :class:`SpatialNetwork` so the SILC toolkit can index them.
+
+NetworkX is an optional dependency: it is imported lazily so the core
+library never requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.network.errors import GraphConstructionError
+from repro.network.graph import SpatialNetwork
+
+
+def _require_networkx():
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - optional dependency
+        raise ImportError(
+            "the NetworkX bridge requires the optional networkx package"
+        ) from exc
+    return nx
+
+
+def to_networkx(network: SpatialNetwork):
+    """Export as a :class:`networkx.DiGraph`.
+
+    Node attributes ``x``/``y`` carry positions; edge attribute
+    ``weight`` carries travel cost -- the conventions OSMnx and
+    :func:`from_networkx` understand.
+    """
+    nx = _require_networkx()
+    graph = nx.DiGraph()
+    for v in network.vertices():
+        graph.add_node(v, x=float(network.xs[v]), y=float(network.ys[v]))
+    for u, v, w in network.iter_edges():
+        graph.add_edge(u, v, weight=w)
+    return graph
+
+
+def from_networkx(graph: Any, weight: str = "weight") -> SpatialNetwork:
+    """Import a NetworkX graph as a :class:`SpatialNetwork`.
+
+    Requirements:
+
+    * every node carries a position: either ``x``/``y`` attributes or
+      a ``pos`` attribute holding an ``(x, y)`` pair;
+    * undirected graphs are symmetrized (both edge directions);
+    * missing edge weights default to the Euclidean length of the
+      edge (the metric convention of this library's generators).
+
+    Nodes are relabeled to contiguous integers in sorted node order;
+    the mapping is recoverable from ``sorted(graph.nodes)``.
+    """
+    _require_networkx()
+    nodes = sorted(graph.nodes)
+    if not nodes:
+        raise GraphConstructionError("cannot import an empty graph")
+    relabel = {node: i for i, node in enumerate(nodes)}
+
+    xs = np.empty(len(nodes))
+    ys = np.empty(len(nodes))
+    for node in nodes:
+        data = graph.nodes[node]
+        if "x" in data and "y" in data:
+            x, y = float(data["x"]), float(data["y"])
+        elif "pos" in data:
+            x, y = map(float, data["pos"])
+        else:
+            raise GraphConstructionError(
+                f"node {node!r} has no position (x/y or pos attribute)"
+            )
+        xs[relabel[node]] = x
+        ys[relabel[node]] = y
+
+    edges: list[tuple[int, int, float]] = []
+    directed = graph.is_directed()
+    for u, v, data in graph.edges(data=True):
+        iu, iv = relabel[u], relabel[v]
+        w = data.get(weight)
+        if w is None:
+            w = float(np.hypot(xs[iu] - xs[iv], ys[iu] - ys[iv]))
+            if w <= 0.0:
+                raise GraphConstructionError(
+                    f"edge {u!r}->{v!r} has no weight and zero length"
+                )
+        edges.append((iu, iv, float(w)))
+        if not directed:
+            edges.append((iv, iu, float(w)))
+
+    return SpatialNetwork(xs, ys, edges)

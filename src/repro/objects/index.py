@@ -1,0 +1,159 @@
+"""The spatial index over the object set ``S``.
+
+Wraps the PMR quadtree with the lookups the query algorithms need:
+
+* best-first traversal metadata (per-node rectangles, edge-object
+  flags for sound block bounds),
+* the vertex -> objects map INE uses when it settles a vertex,
+* Euclidean best-first scans for the IER baseline.
+
+The index shares its grid embedding with the SILC index so that
+object-index blocks and shortest-path-quadtree blocks can be
+intersected purely in Morton-code space.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.geometry.grid import GridEmbedding
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.graph import SpatialNetwork
+from repro.objects.model import (
+    EdgePosition,
+    ObjectSet,
+    SpatialObject,
+    VertexPosition,
+    position_parts,
+    position_point,
+)
+from repro.quadtree.pmr import PMRNode, PMRQuadtree
+
+
+class ObjectIndex:
+    """PMR-quadtree index over an :class:`ObjectSet`."""
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        objects: ObjectSet,
+        embedding: GridEmbedding,
+        bucket_capacity: int = 8,
+    ) -> None:
+        self.network = network
+        self.objects = objects
+        self.tree = PMRQuadtree(embedding, capacity=bucket_capacity)
+        self._vertex_objects: dict[int, list[int]] = defaultdict(list)
+        self._edge_flags: dict[tuple[int, int], bool] = {}
+        for obj in objects:
+            # Extents are indexed once per part so that every part's
+            # neighborhood can discover the object; query engines
+            # deduplicate by object id.
+            for part in position_parts(obj.position):
+                self.tree.insert(obj.oid, position_point(network, part))
+                if isinstance(part, VertexPosition):
+                    if obj.oid not in self._vertex_objects[part.vertex]:
+                        self._vertex_objects[part.vertex].append(obj.oid)
+        self._compute_edge_flags()
+
+    # ------------------------------------------------------------------
+    # Structure metadata
+    # ------------------------------------------------------------------
+    def _compute_edge_flags(self) -> None:
+        """Mark every node whose subtree contains an edge object.
+
+        Block-level lambda bounds are only sound for vertex objects;
+        nodes flagged here additionally take the (weaker but sound)
+        Euclidean bound at query time.
+        """
+        edge_ids = {
+            o.oid
+            for o in self.objects
+            if any(
+                isinstance(part, EdgePosition)
+                for part in position_parts(o.position)
+            )
+        }
+
+        def walk(node: PMRNode) -> bool:
+            if node.is_leaf:
+                flag = any(oid in edge_ids for oid, _, _ in node.entries)
+            else:
+                # Evaluate all children: every node needs its flag.
+                flags = [walk(child) for child in node.children]
+                flag = any(flags)
+            self._edge_flags[(node.code, node.level)] = flag
+            return flag
+
+        walk(self.tree.root)
+
+    def has_edge_objects(self, node: PMRNode) -> bool:
+        return self._edge_flags[(node.code, node.level)]
+
+    def node_rect(self, node: PMRNode) -> Rect:
+        return self.tree.node_rect(node)
+
+    @property
+    def root(self) -> PMRNode:
+        return self.tree.root
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def objects_at_vertex(self, vertex: int) -> list[int]:
+        """Object ids sitting exactly on ``vertex`` (INE's probe)."""
+        return list(self._vertex_objects.get(vertex, ()))
+
+    def vertices_with_objects(self) -> list[int]:
+        return sorted(self._vertex_objects)
+
+    def get(self, oid: int) -> SpatialObject:
+        return self.objects[oid]
+
+    # ------------------------------------------------------------------
+    # Euclidean best-first scan (IER's filter stage)
+    # ------------------------------------------------------------------
+    def iter_euclidean(self, origin: Point) -> Iterator[tuple[int, float]]:
+        """Yield ``(oid, euclidean_distance)`` in increasing distance.
+
+        The classic incremental nearest-neighbor traversal (Hjaltason
+        & Samet 1995) over the PMR quadtree with Euclidean MINDIST.
+        """
+        import heapq
+        import itertools
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, str, object]] = [
+            (
+                self.node_rect(self.root).min_distance_to_point(origin),
+                next(counter),
+                "node",
+                self.root,
+            )
+        ]
+        while heap:
+            dist, _, kind, payload = heapq.heappop(heap)
+            if kind == "object":
+                yield payload, dist  # type: ignore[misc]
+                continue
+            node: PMRNode = payload  # type: ignore[assignment]
+            if node.is_leaf:
+                for oid, _, point in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (origin.distance_to(point), next(counter), "object", oid),
+                    )
+            else:
+                for child in node.children:
+                    if child.entries or not child.is_leaf:
+                        heapq.heappush(
+                            heap,
+                            (
+                                self.node_rect(child).min_distance_to_point(origin),
+                                next(counter),
+                                "node",
+                                child,
+                            ),
+                        )

@@ -1,0 +1,350 @@
+"""The paper's best-first k-nearest-neighbor algorithm and variants.
+
+One engine implements the non-incremental best-first search of p.23
+and its three published variants through small policy differences:
+
+=========  =====================================================
+``knn``    the base algorithm: result queue ``L`` maintained
+           continuously, the pruning distance ``Dk`` (max distance
+           bound of the k-th candidate) prunes enqueues and halts
+           the search.
+``inn``    the incremental variant: no ``L``, no ``Dk``; neighbors
+           are confirmed one at a time until k are reported.
+``knn_i``  computes the one-shot estimate ``D0k`` from the first k
+           objects encountered and prunes with it, avoiding the
+           continuous ``L`` maintenance of ``knn``.
+``knn_m``  additionally tracks KMINDIST (a sound lower bound on
+           the k-th neighbor distance) and accepts any object whose
+           upper bound falls below it *without further refinement*
+           -- fewer refinements, unsorted output.
+=========  =====================================================
+
+Correctness invariant shared by all variants (the paper's Theorem 1):
+an object popped from ``Q`` whose distance interval does not collide
+with the head of ``Q`` can be reported, because interval lower bounds
+are monotone under refinement, so nothing still queued can ever beat
+it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from bisect import bisect_left, insort
+from time import perf_counter
+
+from repro.objects.index import ObjectIndex
+from repro.objects.model import NetworkPosition
+from repro.query.distances import ObjectDistanceState, QueryHandle
+from repro.query.location import resolve_location
+from repro.query.results import KNNResult, Neighbor
+from repro.query.stats import QueryStats
+from repro.silc.index import SILCIndex
+from repro.silc.refinement import RefinementCounter
+
+_NODE = 0
+_OBJECT = 1
+
+VARIANTS = ("knn", "inn", "knn_i", "knn_m")
+
+
+class _ResultQueue:
+    """The paper's ``L``: candidates ordered by distance upper bound.
+
+    ``dk(k)`` is the k-th smallest upper bound -- the pruning distance.
+    Every operation is counted and timed so the kNN-PQ overhead series
+    of fig p.38 can be reported.
+    """
+
+    __slots__ = ("entries", "_seq", "stats")
+
+    def __init__(self, stats: QueryStats) -> None:
+        self.entries: list[tuple[float, int, int]] = []  # (hi, seq, oid)
+        self._seq = itertools.count()
+        self.stats = stats
+
+    def add(self, oid: int, hi: float) -> None:
+        start = perf_counter()
+        insort(self.entries, (hi, next(self._seq), oid))
+        self.stats.l_ops += 1
+        self.stats.l_time += perf_counter() - start
+
+    def update(self, oid: int, old_hi: float, hi: float) -> None:
+        start = perf_counter()
+        for i, entry in enumerate(self.entries):
+            if entry[2] == oid:
+                del self.entries[i]
+                break
+        insort(self.entries, (hi, next(self._seq), oid))
+        self.stats.l_ops += 1
+        self.stats.l_time += perf_counter() - start
+
+    def dk(self, k: int) -> float:
+        start = perf_counter()
+        value = self.entries[k - 1][0] if len(self.entries) >= k else math.inf
+        self.stats.l_ops += 1
+        self.stats.l_time += perf_counter() - start
+        return value
+
+
+class _KMinDistTracker:
+    """Sound lower bound on the k-th neighbor distance (kNN-M).
+
+    Every object is either *seen* (its interval lower bound is in
+    ``lows``) or hidden under an unexpanded block of the queue (its
+    distance is at least that block's bound, hence at least
+    ``min_block``).  The k-th neighbor distance therefore never falls
+    below ``min(k-th smallest seen bound, smallest queued block
+    bound)`` -- and any object whose *upper* bound is below that value
+    is certainly one of the k nearest.
+    """
+
+    __slots__ = ("lows", "blocks", "k")
+
+    def __init__(self, k: int) -> None:
+        self.lows: list[float] = []
+        self.blocks: list[float] = []
+        self.k = k
+
+    def add(self, lo: float) -> None:
+        insort(self.lows, lo)
+
+    def replace(self, old: float, new: float) -> None:
+        i = bisect_left(self.lows, old)
+        if i < len(self.lows) and self.lows[i] == old:
+            del self.lows[i]
+        insort(self.lows, new)
+
+    def block_pushed(self, bound: float) -> None:
+        insort(self.blocks, bound)
+
+    def block_popped(self, bound: float) -> None:
+        i = bisect_left(self.blocks, bound)
+        if i < len(self.blocks) and self.blocks[i] == bound:
+            del self.blocks[i]
+
+    def value(self) -> float:
+        min_block = self.blocks[0] if self.blocks else math.inf
+        if len(self.lows) < self.k:
+            return min_block
+        return min(self.lows[self.k - 1], min_block)
+
+
+def best_first_knn(
+    index: SILCIndex,
+    object_index: ObjectIndex,
+    query,
+    k: int,
+    variant: str = "knn",
+    exact: bool = False,
+) -> KNNResult:
+    """Find the ``k`` network-nearest objects to ``query``.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`SILCIndex` over the network.
+    object_index:
+        The spatial index over the (decoupled) object set.
+    query:
+        A vertex id, a :class:`NetworkPosition`, or a free
+        :class:`Point` (snapped to the nearest vertex).
+    k:
+        Number of neighbors; fewer are returned when the object set is
+        smaller.
+    variant:
+        One of ``knn``, ``inn``, ``knn_i``, ``knn_m`` (see module
+        docstring).
+    exact:
+        When True, fully refine the reported neighbors so that
+        ``Neighbor.distance`` is the exact network distance.  The
+        extra refinements are recorded separately in
+        ``stats.extras['post_refinements']``.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    t_start = perf_counter()
+    stats = QueryStats()
+    counter = RefinementCounter()
+    position: NetworkPosition = resolve_location(index.network, query)
+    handle = QueryHandle(index, object_index, position, counter)
+    io_before = index.storage.snapshot() if index.storage is not None else None
+
+    seq = itertools.count()
+    heap: list[tuple[float, int, int, object]] = []
+
+    use_dk = variant == "knn"
+    use_d0k = variant in ("knn_i", "knn_m")
+    result_queue = _ResultQueue(stats) if use_dk else None
+    kmin_tracker = _KMinDistTracker(k) if variant == "knn_m" else None
+
+    d0k = math.inf
+    first_k_his: list[float] = []
+    states: dict[int, ObjectDistanceState] = {}
+    confirmed: list[ObjectDistanceState] = []
+
+    def prune_bound() -> float:
+        if use_dk:
+            return result_queue.dk(k)
+        if use_d0k:
+            return d0k
+        return math.inf
+
+    def push(lo: float, kind: int, payload: object) -> None:
+        heapq.heappush(heap, (lo, next(seq), kind, payload))
+        stats.queue_pushes += 1
+        if kind == _NODE and kmin_tracker is not None:
+            kmin_tracker.block_pushed(lo)
+        if len(heap) > stats.max_queue:
+            stats.max_queue = len(heap)
+
+    root = object_index.root
+    if not (root.is_leaf and not root.entries):
+        push(handle.block_bound(root), _NODE, root)
+
+    while heap and len(confirmed) < k:
+        lo, _, kind, payload = heapq.heappop(heap)
+        if kind == _NODE and kmin_tracker is not None:
+            kmin_tracker.block_popped(lo)
+        if lo >= prune_bound():
+            break  # nothing remaining can enter the k nearest
+        if kind == _NODE:
+            node = payload
+            if node.is_leaf:
+                stats.leaf_expansions += 1
+                bound = prune_bound()
+                # First pass: register every object of the leaf, so the
+                # KMINDIST tracker sees all siblings before any accept
+                # decision (accepting against a partially registered
+                # leaf would overestimate the k-th neighbor bound).
+                fresh: list[ObjectDistanceState] = []
+                for oid, _, _ in node.entries:
+                    if oid in states:
+                        # Extent objects are indexed once per part;
+                        # only the first encounter creates a state.
+                        continue
+                    state = handle.object_state(object_index.get(oid))
+                    stats.objects_seen += 1
+                    states[oid] = state
+                    fresh.append(state)
+                    interval = state.interval
+                    if use_d0k and len(first_k_his) < k:
+                        first_k_his.append(interval.hi)
+                        if len(first_k_his) == k:
+                            d0k = max(first_k_his)
+                            stats.d0k = d0k
+                    if use_dk:
+                        result_queue.add(oid, interval.hi)
+                    if kmin_tracker is not None:
+                        kmin_tracker.add(interval.lo)
+                # Second pass: accept certain members outright (kNN-M)
+                # or enqueue survivors of the pruning bound.
+                for state in fresh:
+                    interval = state.interval
+                    if (
+                        kmin_tracker is not None
+                        and len(confirmed) < k
+                        and interval.hi <= kmin_tracker.value()
+                    ):
+                        stats.kmindist_accepts += 1
+                        stats.confirmations += 1
+                        confirmed.append(state)
+                        continue
+                    if interval.lo < bound:
+                        push(interval.lo, _OBJECT, state)
+            else:
+                stats.nonleaf_expansions += 1
+                bound = prune_bound()
+                for child in node.children:
+                    if child.is_leaf and not child.entries:
+                        continue
+                    child_bound = handle.block_bound(child)
+                    if child_bound < bound:
+                        push(child_bound, _NODE, child)
+            continue
+
+        state: ObjectDistanceState = payload
+        interval = state.interval
+        top_lo = heap[0][0] if heap else math.inf
+        if interval.hi <= top_lo:
+            # No collision: reporting is safe (Theorem 1).
+            stats.confirmations += 1
+            confirmed.append(state)
+            continue
+        stats.collisions += 1
+        if kmin_tracker is not None:
+            kmindist = kmin_tracker.value()
+            if interval.hi <= kmindist:
+                # Certain member of the k nearest: accept unrefined.
+                stats.kmindist_accepts += 1
+                stats.confirmations += 1
+                confirmed.append(state)
+                continue
+        old_lo = interval.lo
+        state.refine()
+        new_interval = state.interval
+        if use_dk:
+            result_queue.update(state.oid, interval.hi, new_interval.hi)
+        if kmin_tracker is not None:
+            kmin_tracker.replace(old_lo, new_interval.lo)
+        if new_interval.lo < prune_bound():
+            push(new_interval.lo, _OBJECT, state)
+
+    stats.refinements = counter.count
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    result_states = confirmed[:k]
+    if len(result_states) < k and len(states) >= len(result_states):
+        # Boundary ties (or k > |S|): fall back to the tightest
+        # remaining candidates, resolved exactly for safety.
+        remaining = [s for s in states.values() if s not in result_states]
+        remaining.sort(key=lambda s: s.interval.lo)
+        fill = remaining[: k - len(result_states)]
+        for s in fill:
+            s.refine_fully()
+        fill.sort(key=lambda s: s.interval.lo)
+        result_states.extend(fill)
+        stats.extras["fallback_fill"] = len(fill)
+
+    post_refinements = 0
+    if exact:
+        before = counter.count
+        for s in result_states:
+            s.refine_fully()
+        post_refinements = counter.count - before
+        stats.extras["post_refinements"] = post_refinements
+        stats.refinements = counter.count - post_refinements
+        if variant != "knn_m":
+            result_states.sort(key=lambda s: s.interval.lo)
+
+    neighbors = [
+        Neighbor(
+            oid=s.oid,
+            interval=s.interval,
+            distance=s.interval.lo if s.interval.is_exact else None,
+        )
+        for s in result_states
+    ]
+
+    if neighbors:
+        his = sorted(n.interval.hi for n in neighbors)
+        stats.dk_final = his[min(k, len(his)) - 1]
+    if kmin_tracker is not None:
+        stats.kmindist_final = kmin_tracker.value()
+
+    if io_before is not None and index.storage is not None:
+        delta = index.storage.stats.delta_since(io_before)
+        stats.io_accesses = delta.accesses
+        stats.io_misses = delta.misses
+        stats.io_time = delta.io_time(index.storage.miss_latency)
+
+    stats.elapsed = perf_counter() - t_start
+    return KNNResult(
+        neighbors=neighbors, stats=stats, ordered=(variant != "knn_m")
+    )

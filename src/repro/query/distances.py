@@ -1,0 +1,171 @@
+"""Query-to-object distance machinery built on SILC refinement.
+
+:class:`ObjectDistanceState` is what the kNN priority queues actually
+hold for an object: the combined, progressively refinable distance
+interval from the query location to the object over all anchor pairs.
+:class:`QueryHandle` bundles the per-query state (anchors, bounds) the
+best-first engine needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.objects.index import ObjectIndex
+from repro.objects.model import NetworkPosition, SpatialObject
+from repro.query.location import (
+    location_point,
+    same_edge_direct,
+    source_anchors,
+    target_anchors,
+)
+from repro.quadtree.pmr import PMRNode
+from repro.silc.index import SILCIndex
+from repro.silc.intervals import DistanceInterval
+from repro.silc.refinement import RefinableDistance, RefinementCounter
+
+
+class ObjectDistanceState:
+    """Refinable network distance from a query location to one object.
+
+    The true distance is the minimum over the anchor-pair components
+    (each a :class:`RefinableDistance`) and the optional direct
+    same-edge segment.  ``interval`` is the interval of that minimum;
+    :meth:`refine` advances the component currently defining the lower
+    bound, so the interval tightens as fast as one refinement per call
+    can manage.
+    """
+
+    __slots__ = ("oid", "components", "direct", "_interval")
+
+    def __init__(
+        self,
+        oid: int,
+        components: list[RefinableDistance],
+        direct: float | None = None,
+    ) -> None:
+        if not components and direct is None:
+            raise ValueError("an object distance needs at least one alternative")
+        self.oid = oid
+        self.components = components
+        self.direct = direct
+        self._interval = self._combine()
+
+    def _combine(self) -> DistanceInterval:
+        lo = math.inf
+        hi = math.inf
+        for comp in self.components:
+            ci = comp.interval
+            lo = min(lo, ci.lo)
+            hi = min(hi, ci.hi)
+        if self.direct is not None:
+            lo = min(lo, self.direct)
+            hi = min(hi, self.direct)
+        return DistanceInterval(lo, hi)
+
+    @property
+    def interval(self) -> DistanceInterval:
+        return self._interval
+
+    @property
+    def is_exact(self) -> bool:
+        return self._interval.is_exact
+
+    def refine(self) -> bool:
+        """One refinement step on the component defining the lower bound.
+
+        Returns False when the interval can no longer improve (the
+        minimum is resolved).
+        """
+        hi = self._interval.hi
+        best: RefinableDistance | None = None
+        best_lo = math.inf
+        for comp in self.components:
+            if comp.is_exact:
+                continue
+            ci = comp.interval
+            if ci.lo <= hi and ci.lo < best_lo:
+                best = comp
+                best_lo = ci.lo
+        if best is None:
+            # Every alternative cheaper than the current upper bound is
+            # exact: the minimum is decided.
+            self._interval = DistanceInterval.exact(self._interval.lo)
+            return False
+        best.refine()
+        combined = self._combine()
+        self._interval = (
+            combined if combined.is_exact else combined.intersection(self._interval)
+        )
+        return True
+
+    def refine_fully(self) -> float:
+        while not self.is_exact:
+            if not self.refine():
+                break
+        return self._interval.lo
+
+
+class QueryHandle:
+    """Everything the best-first engine needs about one query location."""
+
+    def __init__(
+        self,
+        index: SILCIndex,
+        object_index: ObjectIndex,
+        position: NetworkPosition,
+        counter: RefinementCounter | None = None,
+    ) -> None:
+        self.index = index
+        self.object_index = object_index
+        self.position = position
+        self.counter = counter if counter is not None else RefinementCounter()
+        network = index.network
+        self.network = network
+        self.anchors = source_anchors(network, position)
+        self.point = location_point(network, position)
+        # Global lower-bound slope for the Euclidean fallback bound:
+        # any network path is at least this multiple of straight-line
+        # distance (see SpatialNetwork.min_euclidean_ratio).
+        self._euclid_slope = min(network.min_euclidean_ratio(), float("inf"))
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def object_state(self, obj: SpatialObject) -> ObjectDistanceState:
+        """The refinable distance from the query to ``obj``."""
+        components = []
+        for sv, s_off in self.anchors:
+            for tv, t_off in target_anchors(self.network, obj.position):
+                components.append(
+                    self.index.refinable(
+                        sv, tv, counter=self.counter, offset=s_off + t_off
+                    )
+                )
+        direct = same_edge_direct(self.network, self.position, obj.position)
+        return ObjectDistanceState(obj.oid, components, direct)
+
+    # ------------------------------------------------------------------
+    # Block bounds
+    # ------------------------------------------------------------------
+    def block_bound(self, node: PMRNode) -> float:
+        """Sound lower bound on the distance to any object under ``node``.
+
+        Vertex objects get the tight lambda bound through the SILC
+        quadtrees; subtrees containing edge objects fall back to the
+        global-slope Euclidean bound, and pure-vertex subtrees use the
+        better of the two.
+        """
+        rect = self.object_index.node_rect(node)
+        euclid = self._euclid_slope * rect.min_distance_to_point(self.point)
+        lam = math.inf
+        for av, a_off in self.anchors:
+            bound = self.index.block_lower_bound(av, node.code, node.level)
+            lam = min(lam, a_off + bound)
+        if self.object_index.has_edge_objects(node):
+            return min(lam, euclid)
+        if math.isinf(lam):
+            # No network vertex in the block: with only vertex objects
+            # allowed here, the subtree must be empty of objects too.
+            return math.inf
+        return max(lam, euclid)

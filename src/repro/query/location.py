@@ -1,0 +1,128 @@
+"""Query locations and their network anchors.
+
+A query can start from a vertex, from a position along an edge, or
+from an arbitrary point (snapped to the nearest vertex).  All query
+algorithms reduce the location to *anchors*: pairs ``(vertex,
+offset)`` such that every path out of the location passes through one
+of the anchor vertices after traveling ``offset``.
+
+Objects reduce symmetrically to *target anchors*: every path into the
+object passes through an anchor vertex and then travels ``offset``
+more.  Distances between a location and an object are minima over
+anchor pairs (plus the degenerate same-edge segment, handled by
+:func:`same_edge_direct`).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.network.graph import SpatialNetwork
+from repro.objects.model import (
+    EdgePosition,
+    ExtentPosition,
+    NetworkPosition,
+    VertexPosition,
+    position_point,
+)
+
+QueryLocation = "int | NetworkPosition | Point"
+
+
+def resolve_location(
+    network: SpatialNetwork, query: "int | NetworkPosition | Point"
+) -> NetworkPosition:
+    """Normalize any accepted query form to a network position."""
+    if isinstance(query, int):
+        network.check_vertex(query)
+        return VertexPosition(query)
+    if isinstance(query, (VertexPosition, EdgePosition)):
+        return query
+    if isinstance(query, Point):
+        return VertexPosition(network.nearest_vertex(query))
+    raise TypeError(f"unsupported query location: {query!r}")
+
+
+def source_anchors(
+    network: SpatialNetwork, position: NetworkPosition
+) -> list[tuple[int, float]]:
+    """``(vertex, offset)`` pairs through which every outgoing path passes.
+
+    Extent positions are not supported as query locations: a traveler
+    occupies one point, not a region.
+    """
+    if isinstance(position, ExtentPosition):
+        raise TypeError("a query location must be a single vertex/edge position")
+    if isinstance(position, VertexPosition):
+        return [(position.vertex, 0.0)]
+    anchors = [(position.b, (1.0 - position.fraction) * network.edge_weight(position.a, position.b))]
+    if network.has_edge(position.b, position.a):
+        anchors.append(
+            (position.a, position.fraction * network.edge_weight(position.b, position.a))
+        )
+    return anchors
+
+
+def target_anchors(
+    network: SpatialNetwork, position: NetworkPosition
+) -> list[tuple[int, float]]:
+    """``(vertex, offset)`` pairs through which every incoming path passes.
+
+    For extents: the union over parts (reaching any part reaches the
+    object).
+    """
+    if isinstance(position, ExtentPosition):
+        anchors: list[tuple[int, float]] = []
+        for part in position.parts:
+            anchors.extend(target_anchors(network, part))
+        return anchors
+    if isinstance(position, VertexPosition):
+        return [(position.vertex, 0.0)]
+    anchors = [(position.a, position.fraction * network.edge_weight(position.a, position.b))]
+    if network.has_edge(position.b, position.a):
+        anchors.append(
+            (position.b, (1.0 - position.fraction) * network.edge_weight(position.b, position.a))
+        )
+    return anchors
+
+
+def same_edge_direct(
+    network: SpatialNetwork, source: NetworkPosition, target: NetworkPosition
+) -> float | None:
+    """Length of the direct along-edge segment, when one exists.
+
+    Covers the cases anchor decomposition misses: source and target on
+    the same directed edge with the target downstream, or a vertex
+    source at the tail of the target's edge (that one is also covered
+    by anchors, but the direct value is exact and free).
+    """
+    if isinstance(target, ExtentPosition):
+        candidates = [
+            d
+            for part in target.parts
+            if (d := same_edge_direct(network, source, part)) is not None
+        ]
+        return min(candidates) if candidates else None
+    if isinstance(source, VertexPosition) and isinstance(target, VertexPosition):
+        if source.vertex == target.vertex:
+            return 0.0
+        return None
+    if isinstance(source, EdgePosition) and isinstance(target, EdgePosition):
+        if (source.a, source.b) == (target.a, target.b):
+            if target.fraction >= source.fraction:
+                w = network.edge_weight(source.a, source.b)
+                return (target.fraction - source.fraction) * w
+        if (source.b, source.a) == (target.a, target.b) and network.has_edge(
+            target.a, target.b
+        ):
+            # Opposite orientations of the same undirected segment.
+            sf = 1.0 - source.fraction  # source's fraction along (b, a)
+            if target.fraction >= sf:
+                w = network.edge_weight(target.a, target.b)
+                return (target.fraction - sf) * w
+        return None
+    return None
+
+
+def location_point(network: SpatialNetwork, position: NetworkPosition) -> Point:
+    """Spatial point of a location (delegates to the object model)."""
+    return position_point(network, position)

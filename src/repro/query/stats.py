@@ -1,0 +1,99 @@
+"""Per-query work counters.
+
+Every figure in the paper's evaluation is a plot of one of these
+counters (or of wall-clock/I/O time), so the query algorithms record
+everything the benchmark harness needs in a single dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated while answering one query.
+
+    SILC-family counters
+    --------------------
+    refinements:
+        Progressive-refinement steps (fig p.35's unit).
+    max_queue:
+        Peak size of the main priority queue ``Q`` (fig p.34's unit).
+    l_ops / l_time:
+        Operations on (and seconds spent in) the result queue ``L``
+        and its ``Dk`` bookkeeping -- the paper's "kNN-PQ" series
+        (fig p.38).
+    kmindist_accepts:
+        Objects accepted directly against KMINDIST without further
+        refinement (fig p.36's unit; kNN-M only).
+    d0k / kmindist_final / dk_final:
+        The estimator values at termination (fig p.37's units).
+    io_accesses / io_misses / io_time:
+        Simulated page traffic, when a storage simulator is attached.
+
+    Baseline counters
+    -----------------
+    settled / relaxed:
+        Dijkstra work (INE and IER).
+    index_probes:
+        Object-index lookups (INE probes one per settled vertex).
+    nd_computations:
+        Point-to-point network-distance computations (IER).
+    """
+
+    # SILC family
+    refinements: int = 0
+    max_queue: int = 0
+    queue_pushes: int = 0
+    objects_seen: int = 0
+    leaf_expansions: int = 0
+    nonleaf_expansions: int = 0
+    collisions: int = 0
+    confirmations: int = 0
+    kmindist_accepts: int = 0
+    l_ops: int = 0
+    l_time: float = 0.0
+    d0k: float | None = None
+    kmindist_final: float | None = None
+    dk_final: float | None = None
+    # storage
+    io_accesses: int = 0
+    io_misses: int = 0
+    io_time: float = 0.0
+    # baselines
+    settled: int = 0
+    relaxed: int = 0
+    index_probes: int = 0
+    nd_computations: int = 0
+    # wall clock
+    elapsed: float = 0.0
+
+    extras: dict = field(default_factory=dict)
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Sum counters across queries (for workload averages)."""
+        merged = QueryStats()
+        for name in (
+            "refinements",
+            "max_queue",
+            "queue_pushes",
+            "objects_seen",
+            "leaf_expansions",
+            "nonleaf_expansions",
+            "collisions",
+            "confirmations",
+            "kmindist_accepts",
+            "l_ops",
+            "settled",
+            "relaxed",
+            "index_probes",
+            "nd_computations",
+            "io_accesses",
+            "io_misses",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.l_time = self.l_time + other.l_time
+        merged.io_time = self.io_time + other.io_time
+        merged.elapsed = self.elapsed + other.elapsed
+        return merged

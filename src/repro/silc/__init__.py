@@ -1,0 +1,30 @@
+"""SILC: the paper's core contribution.
+
+Shortest-path maps, shortest-path quadtrees, the per-network
+:class:`SILCIndex`, distance intervals and progressive refinement.
+"""
+
+from repro.silc.coloring import ShortestPathMap, shortest_path_map, shortest_path_maps
+from repro.silc.index import SILCIndex
+from repro.silc.intervals import DistanceInterval
+from repro.silc.proximal import BeyondHorizonError, ProximalSILCIndex
+from repro.silc.refinement import RefinableDistance, RefinementCounter
+from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
+from repro.silc.updates import affected_sources, diff_edges, update_index
+
+__all__ = [
+    "ShortestPathMap",
+    "shortest_path_map",
+    "shortest_path_maps",
+    "SILCIndex",
+    "ProximalSILCIndex",
+    "BeyondHorizonError",
+    "DistanceInterval",
+    "RefinableDistance",
+    "RefinementCounter",
+    "SPQuadtreeBuilder",
+    "choose_grid_order",
+    "update_index",
+    "affected_sources",
+    "diff_edges",
+]

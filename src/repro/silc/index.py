@@ -1,0 +1,325 @@
+"""The SILC index: one shortest-path quadtree per network vertex.
+
+This is the paper's primary data structure.  Building it runs one
+single-source shortest-path computation per vertex (the O(N^1.5)-space
+precompute); querying it answers, in far less than a Dijkstra search:
+
+* ``next_hop(u, v)``        -- first link of the shortest path (one
+  block-table point location),
+* ``path(u, v)``            -- the whole path in size-of-path steps,
+* ``distance(u, v)``        -- exact network distance,
+* ``interval_from(u, v)``   -- a ``[lambda_min*d_E, lambda_max*d_E]``
+  distance interval without touching the path,
+* ``refinable(u, v)``       -- a progressively refinable distance,
+* ``block_lower_bound``     -- network-distance lower bound from a
+  vertex to an object-index block (for best-first kNN).
+
+An optional :class:`~repro.storage.StorageSimulator` can be attached,
+after which every block-table probe is accounted as a page access
+through the simulated LRU buffer -- the paper's I/O cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.grid import GridEmbedding
+from repro.geometry.morton import block_cells
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.errors import PathNotFound
+from repro.network.graph import SpatialNetwork
+from repro.quadtree.blocks import BlockTable
+from repro.silc.coloring import shortest_path_maps
+from repro.silc.intervals import DistanceInterval
+from repro.silc.refinement import RefinableDistance, RefinementCounter
+from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
+from repro.storage.simulator import StorageSimulator
+
+#: Relative padding applied to interval bounds so that float round-off
+#: in the ratio arithmetic can never expel the true distance.
+_REL_PAD = 1e-11
+
+
+class SILCIndex:
+    """Per-vertex shortest-path quadtrees over one spatial network."""
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        embedding: GridEmbedding,
+        vertex_codes: np.ndarray,
+        tables: list[BlockTable],
+    ) -> None:
+        if len(tables) != network.num_vertices:
+            raise ValueError(
+                f"{len(tables)} tables for {network.num_vertices} vertices"
+            )
+        self.network = network
+        self.embedding = embedding
+        self.vertex_codes = np.asarray(vertex_codes, dtype=np.int64)
+        self.tables = tables
+        self.storage: StorageSimulator | None = None
+        # Native-type mirrors for the query hot path: indexing numpy
+        # scalars costs ~10x a list lookup, and interval_from runs once
+        # per refinement step.
+        self._xf: list[float] = network.xs.tolist()
+        self._yf: list[float] = network.ys.tolist()
+        self._vcodes: list[int] = self.vertex_codes.tolist()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: SpatialNetwork,
+        chunk_size: int = 128,
+        sources: Sequence[int] | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> "SILCIndex":
+        """Run the full SILC precompute for a network.
+
+        ``sources`` restricts the build to a subset of vertices (used
+        by the localized-rebuild example); queries may then only start
+        from built vertices.  ``progress`` receives ``(done, total)``
+        after each source.
+        """
+        network.require_strongly_connected()
+        embedding, codes = choose_grid_order(network)
+        builder = SPQuadtreeBuilder(network, embedding, codes)
+        total = network.num_vertices if sources is None else len(list(sources))
+        tables: list[BlockTable | None] = [None] * network.num_vertices
+        done = 0
+        for spm in shortest_path_maps(network, sources=sources, chunk_size=chunk_size):
+            tables[spm.source] = builder.build(spm.colors, spm.ratios)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        empty = BlockTable(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=np.int32),
+            np.empty(0),
+            np.empty(0),
+        )
+        return cls(network, embedding, codes, [t if t is not None else empty for t in tables])
+
+    # ------------------------------------------------------------------
+    # Storage attachment
+    # ------------------------------------------------------------------
+    def attach_storage(self, simulator: StorageSimulator) -> None:
+        """Route every block-table probe through a page-cache simulator."""
+        expected = [len(t) for t in self.tables]
+        if simulator.layout.table_sizes != expected:
+            raise ValueError("simulator layout does not match the index tables")
+        self.storage = simulator
+
+    def detach_storage(self) -> None:
+        self.storage = None
+
+    def make_storage(
+        self, cache_fraction: float = 0.05, miss_latency: float | None = None
+    ) -> StorageSimulator:
+        """A simulator sized for this index (paper default: 5% cache)."""
+        kwargs = {} if miss_latency is None else {"miss_latency": miss_latency}
+        return StorageSimulator.for_table_sizes(
+            [len(t) for t in self.tables], cache_fraction=cache_fraction, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Core probes
+    # ------------------------------------------------------------------
+    def _lookup(self, source: int, target: int) -> tuple[int, float, float]:
+        """Fused probe: (first_hop, lam_min, lam_max) with page accounting."""
+        hit = self.tables[source].lookup(self._vcodes[target])
+        if hit is None:
+            raise PathNotFound(source, target)
+        color, lam_lo, lam_hi, row = hit
+        if self.storage is not None:
+            self.storage.touch(source, row)
+        return color, lam_lo, lam_hi
+
+    def next_hop(self, source: int, target: int) -> int:
+        """First vertex after ``source`` on the shortest path to target."""
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        if source == target:
+            return source
+        return self._lookup(source, target)[0]
+
+    def hop_and_interval(
+        self, source: int, target: int
+    ) -> tuple[int, float, float]:
+        """One probe returning the next hop and the raw interval bounds.
+
+        The refinement engine's hot path: a single binary search yields
+        both the first hop and the ``[lo, hi]`` distance bounds.
+        """
+        if source == target:
+            return source, 0.0, 0.0
+        color, lam_lo, lam_hi = self._lookup(source, target)
+        d_e = math.hypot(
+            self._xf[source] - self._xf[target], self._yf[source] - self._yf[target]
+        )
+        return (
+            color,
+            lam_lo * d_e * (1.0 - _REL_PAD),
+            lam_hi * d_e * (1.0 + _REL_PAD),
+        )
+
+    def interval_from(self, source: int, target: int) -> DistanceInterval:
+        """Distance interval from the lambda annotations (one probe)."""
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        if source == target:
+            return DistanceInterval.exact(0.0)
+        _, lo, hi = self.hop_and_interval(source, target)
+        return DistanceInterval(lo, hi)
+
+    def refinable(
+        self,
+        source: int,
+        target: int,
+        counter: RefinementCounter | None = None,
+        offset: float = 0.0,
+    ) -> RefinableDistance:
+        """A progressively refinable distance from source to target."""
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        return RefinableDistance(self, source, target, counter=counter, offset=offset)
+
+    # ------------------------------------------------------------------
+    # Paths and exact distances
+    # ------------------------------------------------------------------
+    def path(self, source: int, target: int) -> list[int]:
+        """The shortest path, retrieved in size-of-path steps (p.17)."""
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        path = [source]
+        guard = self.network.num_vertices
+        while path[-1] != target:
+            path.append(self.next_hop(path[-1], target))
+            if len(path) > guard:
+                raise RuntimeError(
+                    f"path {source}->{target} exceeded {guard} vertices; "
+                    "the index next-hop data is inconsistent"
+                )
+        return path
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact network distance (full refinement of the path)."""
+        return self.refinable(source, target).refine_fully()
+
+    # ------------------------------------------------------------------
+    # Block-level lower bounds (for the object-index traversal)
+    # ------------------------------------------------------------------
+    def block_lower_bound(self, source: int, code: int, level: int) -> float:
+        """Lower bound on the network distance from ``source`` to any
+        *vertex* inside the Morton block ``(code, level)``.
+
+        Implements the paper's DISTANCE_INTERVAL(object, Region)
+        primitive: intersect the block with the source's shortest-path
+        quadtree and take the best ``lambda_min * MINDIST`` over the
+        overlapping pieces.  Returns ``inf`` when the block contains no
+        network vertex at all.
+        """
+        self.network.check_vertex(source)
+        table = self.tables[source]
+        lo_code = code
+        hi_code = code + block_cells(level)
+        rows = table.overlapping(lo_code, hi_code)
+        if len(rows) == 0:
+            return float("inf")
+        if self.storage is not None:
+            self.storage.touch_range(source, rows.start, rows.stop)
+        p = Point(float(self.network.xs[source]), float(self.network.ys[source]))
+        query_rect = self.embedding.block_world_rect(code, level)
+        best = float("inf")
+        for row in rows:
+            piece = self._intersection_rect(table, row, lo_code, hi_code, query_rect)
+            cand = float(table.lam_min[row]) * piece.min_distance_to_point(p)
+            if cand < best:
+                best = cand
+        return best * (1.0 - _REL_PAD)
+
+    def _intersection_rect(
+        self, table: BlockTable, row: int, lo_code: int, hi_code: int, query_rect: Rect
+    ) -> Rect:
+        """World rectangle of (table block) intersected with the query block.
+
+        Aligned Morton blocks either nest or are disjoint, so the
+        intersection is simply the smaller block.
+        """
+        b_code = int(table.codes[row])
+        b_cells = block_cells(int(table.levels[row]))
+        if lo_code <= b_code and b_code + b_cells <= hi_code:
+            return self.embedding.block_world_rect(b_code, int(table.levels[row]))
+        return query_rect
+
+    # ------------------------------------------------------------------
+    # Statistics / serialization
+    # ------------------------------------------------------------------
+    def total_blocks(self) -> int:
+        """Total Morton blocks -- the paper's storage unit (p.16)."""
+        return sum(len(t) for t in self.tables)
+
+    def blocks_per_vertex(self) -> np.ndarray:
+        return np.array([len(t) for t in self.tables])
+
+    def storage_bytes(self, record_bytes: int = 16) -> int:
+        return self.total_blocks() * record_bytes
+
+    def iter_tables(self) -> Iterator[tuple[int, BlockTable]]:
+        yield from enumerate(self.tables)
+
+    def save(self, path) -> None:
+        """Serialize the index (and embedding) to an ``.npz`` archive."""
+        sizes = np.array([len(t) for t in self.tables], dtype=np.int64)
+        np.savez_compressed(
+            path,
+            sizes=sizes,
+            codes=np.concatenate([t.codes for t in self.tables]) if sizes.sum() else np.empty(0, np.int64),
+            levels=np.concatenate([t.levels for t in self.tables]) if sizes.sum() else np.empty(0, np.int8),
+            colors=np.concatenate([t.colors for t in self.tables]) if sizes.sum() else np.empty(0, np.int32),
+            lam_min=np.concatenate([t.lam_min for t in self.tables]) if sizes.sum() else np.empty(0),
+            lam_max=np.concatenate([t.lam_max for t in self.tables]) if sizes.sum() else np.empty(0),
+            vertex_codes=self.vertex_codes,
+            embedding_bounds=np.array(
+                [
+                    self.embedding.bounds.xmin,
+                    self.embedding.bounds.ymin,
+                    self.embedding.bounds.xmax,
+                    self.embedding.bounds.ymax,
+                ]
+            ),
+            embedding_order=np.array([self.embedding.order]),
+        )
+
+    @classmethod
+    def load(cls, path, network: SpatialNetwork) -> "SILCIndex":
+        """Restore an index saved by :meth:`save` for the same network."""
+        with np.load(path) as data:
+            sizes = data["sizes"]
+            offsets = np.concatenate([[0], np.cumsum(sizes)])
+            tables = []
+            for i in range(sizes.size):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                tables.append(
+                    BlockTable(
+                        data["codes"][lo:hi],
+                        data["levels"][lo:hi],
+                        data["colors"][lo:hi],
+                        data["lam_min"][lo:hi],
+                        data["lam_max"][lo:hi],
+                    )
+                )
+            b = data["embedding_bounds"]
+            embedding = GridEmbedding(
+                Rect(float(b[0]), float(b[1]), float(b[2]), float(b[3])),
+                int(data["embedding_order"][0]),
+            )
+            return cls(network, embedding, data["vertex_codes"], tables)

@@ -1,0 +1,266 @@
+"""Path-Coherent Pairs: the paper's "beyond SILC" extension (pp.28-29).
+
+SILC captures path coherence from *one source* to many destinations.
+A Path-Coherent Pair ``(A, B, t)`` captures it between two *sets*:
+every shortest path from the region ``A`` to the region ``B`` is
+channeled through common structure (the dumbbell's handle), so one
+stored distance interval ``[dmin, dmax]`` approximates all ``|A|*|B|``
+pairwise distances within a chosen ``epsilon``.  The paper's example:
+every drive from the US North-East to the North-West shares I-80W, so
+millions of pairwise distances compress to O(1) storage.
+
+The decomposition below follows the well-separated-pair analogy the
+paper makes explicit: recursively pair quadtree blocks of the vertex
+set, keep a pair when the spread of its pairwise network distances is
+within ``epsilon``, and split the coarser block otherwise.  The result
+is the epsilon-approximate **distance oracle** row of the paper's
+storage table (p.11): O((1/eps)^2 n)-ish pairs, O(log n) query.
+
+Each stored pair also records an *access vertex* ``t`` on the
+representative shortest path, so an approximate path can be assembled
+as ``path(a, t) + path(t, b)`` through a SILC index -- the dumbbell
+structure of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.morton import block_cells
+from repro.network.allpairs import distance_matrix
+from repro.network.graph import SpatialNetwork
+from repro.silc.intervals import DistanceInterval
+from repro.silc.sp_quadtree import choose_grid_order
+
+
+@dataclass(frozen=True, slots=True)
+class _Block:
+    """A quadtree block over the vertex set."""
+
+    code: int
+    level: int
+    lo: int  # slice into the Morton-sorted vertex order
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True, slots=True)
+class PathCoherentPair:
+    """One dumbbell: all of ``A x B`` within one distance interval."""
+
+    block_a: _Block
+    block_b: _Block
+    dmin: float
+    dmax: float
+    access_vertex: int
+
+    @property
+    def interval(self) -> DistanceInterval:
+        return DistanceInterval(self.dmin, self.dmax)
+
+    @property
+    def pair_count(self) -> int:
+        """Number of vertex pairs this single record covers."""
+        return self.block_a.size * self.block_b.size
+
+
+class PCPOracle:
+    """An epsilon-approximate network-distance oracle from PCPs.
+
+    Build cost is dominated by one all-pairs distance matrix, so the
+    oracle is limited to moderate networks (``max_vertices`` guard);
+    it exists to reproduce the paper's storage-table rows and the
+    compression behaviour of the PCP idea, not to scale.
+    """
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        epsilon: float,
+        order: np.ndarray,
+        position: np.ndarray,
+        pairs: dict[tuple[int, int, int, int], PathCoherentPair],
+        grid_order: int,
+    ) -> None:
+        self.network = network
+        self.epsilon = epsilon
+        self._order = order
+        self._position = position
+        self._pairs = pairs
+        self._grid_order = grid_order
+        self._sorted_codes_cache: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: SpatialNetwork,
+        epsilon: float = 0.25,
+        max_vertices: int = 3000,
+    ) -> "PCPOracle":
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        n = network.num_vertices
+        if n > max_vertices:
+            raise ValueError(
+                f"PCP build needs an all-pairs matrix; refusing n={n} > "
+                f"{max_vertices}"
+            )
+        network.require_strongly_connected()
+        embedding, codes = choose_grid_order(network)
+        order = np.argsort(codes)
+        sorted_codes = codes[order]
+        dist = distance_matrix(network)
+        position = np.empty(n, dtype=np.int64)
+        position[order] = np.arange(n)
+
+        root = _Block(code=0, level=embedding.order, lo=0, hi=n)
+        pairs: dict[tuple[int, int, int, int], PathCoherentPair] = {}
+
+        def children(block: _Block) -> list[_Block]:
+            step = block_cells(block.level - 1)
+            cuts = [block.lo]
+            for i in range(1, 4):
+                cuts.append(
+                    block.lo
+                    + int(
+                        np.searchsorted(
+                            sorted_codes[block.lo : block.hi], block.code + i * step
+                        )
+                    )
+                )
+            cuts.append(block.hi)
+            return [
+                _Block(block.code + i * step, block.level - 1, cuts[i], cuts[i + 1])
+                for i in range(4)
+                if cuts[i + 1] > cuts[i]
+            ]
+
+        def vertices_of(block: _Block) -> np.ndarray:
+            return order[block.lo : block.hi]
+
+        def decide(a: _Block, b: _Block) -> None:
+            va, vb = vertices_of(a), vertices_of(b)
+            sub = dist[np.ix_(va, vb)]
+            dmin = float(sub.min())
+            dmax = float(sub.max())
+            separated = (a.code, a.level) != (b.code, b.level) and (
+                dmax <= (1.0 + epsilon) * dmin if dmin > 0 else dmax == 0.0
+            )
+            if separated or (a.size == 1 and b.size == 1):
+                ai, bi = np.unravel_index(int(np.argmax(sub)), sub.shape)
+                rep_a, rep_b = int(va[ai]), int(vb[bi])
+                access = _middle_vertex(network, rep_a, rep_b)
+                pairs[(a.code, a.level, b.code, b.level)] = PathCoherentPair(
+                    a, b, dmin, dmax, access
+                )
+                return
+            # Split the coarser side (deterministic, replayed at query
+            # time); on ties split A.
+            if a.level >= b.level and a.size > 1 or b.size == 1:
+                for ca in children(a):
+                    decide(ca, b)
+            else:
+                for cb in children(b):
+                    decide(a, cb)
+
+        decide(root, root)
+        return cls(network, epsilon, order, position, pairs, embedding.order)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance_interval(self, source: int, target: int) -> DistanceInterval:
+        """The stored interval covering ``(source, target)``.
+
+        Guaranteed to contain the true network distance, with
+        ``dmax <= (1 + epsilon) * dmin``.  O(log n) descent.
+        """
+        self.network.check_vertex(source)
+        self.network.check_vertex(target)
+        if source == target:
+            return DistanceInterval.exact(0.0)
+        pair = self._find_pair(source, target)
+        return pair.interval
+
+    def distance(self, source: int, target: int) -> float:
+        """The epsilon-approximate network distance (interval midpoint)."""
+        interval = self.distance_interval(source, target)
+        return (interval.lo + interval.hi) / 2.0
+
+    def access_vertex(self, source: int, target: int) -> int:
+        """The dumbbell's common vertex for path reconstruction."""
+        if source == target:
+            return source
+        return self._find_pair(source, target).access_vertex
+
+    def _find_pair(self, source: int, target: int) -> PathCoherentPair:
+        a = _Block(0, self._grid_order, 0, self.network.num_vertices)
+        b = _Block(0, self._grid_order, 0, self.network.num_vertices)
+        pos_a = int(self._position[source])
+        pos_b = int(self._position[target])
+        while True:
+            key = (a.code, a.level, b.code, b.level)
+            pair = self._pairs.get(key)
+            if pair is not None:
+                return pair
+            # Replay the deterministic split decision of the build.
+            if a.level >= b.level and a.size > 1 or b.size == 1:
+                a = self._child_containing(a, pos_a)
+            else:
+                b = self._child_containing(b, pos_b)
+
+    def _child_containing(self, block: _Block, pos: int) -> _Block:
+        from bisect import bisect_left
+
+        step = block_cells(block.level - 1)
+        sorted_codes = self._sorted_codes()
+        cuts = [block.lo]
+        for i in range(1, 4):
+            cuts.append(
+                bisect_left(sorted_codes, block.code + i * step, block.lo, block.hi)
+            )
+        cuts.append(block.hi)
+        for i in range(4):
+            if cuts[i] <= pos < cuts[i + 1]:
+                return _Block(block.code + i * step, block.level - 1, cuts[i], cuts[i + 1])
+        raise RuntimeError("vertex position outside its block; oracle corrupted")
+
+    def _sorted_codes(self) -> list[int]:
+        # Reconstructed lazily from the stored order; cached on first use.
+        if self._sorted_codes_cache is None:
+            _, codes = choose_grid_order(self.network)
+            self._sorted_codes_cache = codes[self._order].tolist()
+        return self._sorted_codes_cache
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def num_pairs(self) -> int:
+        return len(self._pairs)
+
+    def covered_vertex_pairs(self) -> int:
+        """Total (source, target) pairs the stored dumbbells cover."""
+        return sum(p.pair_count for p in self._pairs.values())
+
+    def storage_bytes(self, record_bytes: int = 32) -> int:
+        return self.num_pairs() * record_bytes
+
+    def compression_ratio(self) -> float:
+        """Vertex pairs covered per stored record (the PCP win)."""
+        return self.covered_vertex_pairs() / max(1, self.num_pairs())
+
+
+def _middle_vertex(network: SpatialNetwork, source: int, target: int) -> int:
+    """Vertex nearest the midpoint of one representative shortest path."""
+    from repro.network.dijkstra import shortest_path
+
+    path, _, _ = shortest_path(network, source, target)
+    return path[len(path) // 2]

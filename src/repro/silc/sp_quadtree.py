@@ -1,0 +1,76 @@
+"""Shortest-path quadtree construction.
+
+Couples the coloring of :mod:`repro.silc.coloring` to the region
+builder of :mod:`repro.quadtree.region`: for each source, sort the
+per-vertex colors/ratios into Morton order (the permutation is shared
+across all sources, so it is computed once per network) and emit the
+maximal single-color Morton blocks with their lambda intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import GridEmbedding
+from repro.geometry.morton import MAX_ORDER
+from repro.network.errors import GraphConstructionError
+from repro.network.graph import SpatialNetwork
+from repro.quadtree.blocks import BlockTable
+from repro.quadtree.region import build_region_blocks
+
+
+def choose_grid_order(network: SpatialNetwork, minimum: int = 4) -> tuple[GridEmbedding, np.ndarray]:
+    """Pick the smallest grid that gives every vertex its own cell.
+
+    A shortest-path quadtree can only separate differently colored
+    vertices that occupy different grid cells, so the embedding order
+    is raised until the vertex -> cell map is injective.  Raises
+    :class:`GraphConstructionError` when two vertices share a position
+    (no grid can separate them).
+
+    Returns the embedding and the per-vertex Morton codes.
+    """
+    order = max(minimum, int(np.ceil(np.log2(max(np.sqrt(network.num_vertices), 2)))) + 2)
+    while order <= MAX_ORDER:
+        embedding = GridEmbedding.for_points(network.xs, network.ys, order)
+        codes = embedding.morton_of_array(network.xs, network.ys).astype(np.int64)
+        if np.unique(codes).size == codes.size:
+            return embedding, codes
+        order += 1
+    raise GraphConstructionError(
+        "could not give every vertex a distinct grid cell at the maximum "
+        "grid order; the network has coincident (or near-coincident) "
+        "vertex positions"
+    )
+
+
+class SPQuadtreeBuilder:
+    """Reusable per-network state for building shortest-path quadtrees.
+
+    Instantiating the builder performs the network-wide work (cell
+    assignment, Morton sort); :meth:`build` then compresses one
+    source's coloring in ``O(B log N + N)``.
+    """
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        embedding: GridEmbedding | None = None,
+        codes: np.ndarray | None = None,
+    ) -> None:
+        self.network = network
+        if embedding is None or codes is None:
+            embedding, codes = choose_grid_order(network)
+        self.embedding = embedding
+        self.codes = np.asarray(codes, dtype=np.int64)
+        self.order = np.argsort(self.codes)
+        self.sorted_codes = self.codes[self.order]
+
+    def build(self, colors: np.ndarray, ratios: np.ndarray) -> BlockTable:
+        """The shortest-path quadtree for one source's coloring."""
+        return build_region_blocks(
+            self.sorted_codes,
+            np.asarray(colors)[self.order],
+            np.asarray(ratios)[self.order],
+            self.embedding.order,
+        )

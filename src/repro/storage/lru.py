@@ -1,0 +1,78 @@
+"""An LRU page cache with hit/miss accounting.
+
+Models the paper's experimental setup: "LRU based cache that can hold
+5% of the disk pages in main memory" (p.32).  Only metadata is cached
+-- the simulator tracks *which* pages are resident, not their bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by an :class:`LRUCache`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def io_time(self, miss_latency: float) -> float:
+        """Simulated I/O time: one ``miss_latency`` per page fault."""
+        return self.misses * miss_latency
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.accesses, self.hits, self.misses, self.evictions)
+
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter difference, for per-query accounting."""
+        return CacheStats(
+            self.accesses - earlier.accesses,
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+        )
+
+
+@dataclass
+class LRUCache:
+    """Fixed-capacity LRU set of page ids."""
+
+    capacity: int
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be at least one page")
+        self._resident: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def access(self, page: int) -> bool:
+        """Touch a page; returns True on hit, False on fault."""
+        self.stats.accesses += 1
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._resident[page] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    def clear(self) -> None:
+        """Drop residency but keep the accumulated statistics."""
+        self._resident.clear()

@@ -1,0 +1,100 @@
+"""Rendering shortest-path maps and quadtrees for inspection.
+
+The paper's figures (pp.12-13) show shortest-path maps as colored
+regions of the plane.  This module reproduces those pictures without
+any plotting dependency: maps render to ASCII (for terminals and
+tests) or to binary PPM images (viewable anywhere, writable with the
+standard library alone).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.morton import morton_encode
+from repro.silc.index import SILCIndex
+
+#: A categorical palette (RGB) long enough for typical out-degrees.
+_PALETTE = [
+    (230, 25, 75),
+    (60, 180, 75),
+    (0, 130, 200),
+    (245, 130, 48),
+    (145, 30, 180),
+    (70, 240, 240),
+    (240, 50, 230),
+    (210, 245, 60),
+    (170, 110, 40),
+    (128, 128, 0),
+]
+
+_BACKGROUND = (245, 245, 245)
+_SOURCE = (0, 0, 0)
+
+_ASCII = "abcdefghijklmnopqrstuvwxyz"
+
+
+def shortest_path_map_grid(
+    index: SILCIndex, source: int, resolution: int = 64
+) -> np.ndarray:
+    """Rasterize the shortest-path map of ``source``.
+
+    Returns an ``(resolution, resolution)`` int array: ``-1`` for
+    empty space (no quadtree block), otherwise a dense color id per
+    distinct first hop.  Row 0 is the bottom of the map.
+    """
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2")
+    index.network.check_vertex(source)
+    table = index.tables[source]
+    cells = index.embedding.cells_per_side
+    grid = np.full((resolution, resolution), -1, dtype=np.int64)
+    color_ids: dict[int, int] = {}
+    for ry in range(resolution):
+        cy = min(ry * cells // resolution, cells - 1)
+        for rx in range(resolution):
+            cx = min(rx * cells // resolution, cells - 1)
+            hit = table.lookup(morton_encode(cx, cy))
+            if hit is None:
+                continue
+            color = hit[0]
+            grid[ry, rx] = color_ids.setdefault(color, len(color_ids))
+    return grid
+
+
+def render_ascii(grid: np.ndarray) -> str:
+    """The grid as text: letters per region, ``.`` for empty space."""
+    lines = []
+    for row in grid[::-1]:  # top of the map first
+        lines.append(
+            "".join(
+                "." if c < 0 else _ASCII[int(c) % len(_ASCII)] for c in row
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_ppm(grid: np.ndarray, path: str | Path) -> Path:
+    """Write the grid as a binary PPM (P6) image; returns the path."""
+    h, w = grid.shape
+    pixels = bytearray()
+    for row in grid[::-1]:
+        for c in row:
+            rgb = _BACKGROUND if c < 0 else _PALETTE[int(c) % len(_PALETTE)]
+            pixels.extend(rgb)
+    path = Path(path)
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        f.write(bytes(pixels))
+    return path
+
+
+def region_summary(index: SILCIndex, source: int) -> dict[int, int]:
+    """Blocks per first-hop color for one source's quadtree."""
+    table = index.tables[source]
+    counts: dict[int, int] = {}
+    for color in table.colors.tolist():
+        counts[color] = counts.get(color, 0) + 1
+    return counts

@@ -1,0 +1,78 @@
+"""Shared fixtures: small networks and prebuilt SILC indexes.
+
+Session-scoped where construction is expensive; every test that
+mutates state builds its own objects instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_vertex_objects
+from repro.network import distance_matrix, grid_network, road_like_network
+from repro.objects import ObjectIndex
+from repro.silc import SILCIndex
+
+
+@pytest.fixture(scope="session")
+def small_net():
+    """A 150-vertex road-like network (the main unit-test substrate)."""
+    return road_like_network(150, seed=9)
+
+
+@pytest.fixture(scope="session")
+def small_index(small_net):
+    return SILCIndex.build(small_net)
+
+
+@pytest.fixture(scope="session")
+def small_dist(small_net):
+    """All-pairs ground-truth distances for ``small_net``."""
+    return distance_matrix(small_net)
+
+
+@pytest.fixture(scope="session")
+def grid_net():
+    """An 8x8 jittered grid network."""
+    return grid_network(8, 8, jitter=0.2, weight_noise=0.2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def grid_index(grid_net):
+    return SILCIndex.build(grid_net)
+
+
+@pytest.fixture(scope="session")
+def grid_dist(grid_net):
+    return distance_matrix(grid_net)
+
+
+@pytest.fixture(scope="session")
+def small_objects(small_net):
+    """Twenty vertex objects on ``small_net``."""
+    return random_vertex_objects(small_net, count=20, seed=4)
+
+
+@pytest.fixture(scope="session")
+def small_object_index(small_net, small_index, small_objects):
+    return ObjectIndex(small_net, small_objects, small_index.embedding)
+
+
+def brute_force_knn(dist_matrix, object_set, query_vertex, k):
+    """Ground-truth k nearest vertex objects by exact network distance."""
+    pairs = sorted(
+        (float(dist_matrix[query_vertex, o.position.vertex]), o.oid)
+        for o in object_set
+    )
+    return pairs[:k]
+
+
+@pytest.fixture(scope="session")
+def brute_force():
+    return brute_force_knn
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def built(tmp_path, capsys):
+    net_path = tmp_path / "net.txt"
+    idx_path = tmp_path / "index.npz"
+    assert main(["generate", str(net_path), "--size", "120", "--seed", "3"]) == 0
+    assert main(["build", str(net_path), str(idx_path)]) == 0
+    capsys.readouterr()
+    return net_path, idx_path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["road", "grid", "planar"])
+    def test_generates_loadable_network(self, kind, tmp_path, capsys):
+        path = tmp_path / "net.txt"
+        rc = main(["generate", str(path), "--kind", kind, "--size", "80"])
+        assert rc == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        from repro.network import load_text
+
+        net = load_text(path)
+        net.require_strongly_connected()
+
+
+class TestBuildAndStats:
+    def test_stats_reports_blocks(self, built, capsys):
+        net_path, idx_path = built
+        assert main(["stats", str(net_path), str(idx_path)]) == 0
+        out = capsys.readouterr().out
+        assert "morton blocks" in out
+        assert "blocks/vertex" in out
+
+    def test_index_file_exists(self, built):
+        _, idx_path = built
+        assert idx_path.exists() and idx_path.stat().st_size > 0
+
+
+class TestPath:
+    def test_path_output(self, built, capsys):
+        net_path, idx_path = built
+        assert main(["path", str(net_path), str(idx_path), "0", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert "network distance" in out
+        first_line = out.splitlines()[0]
+        assert first_line.startswith("0 ")
+        assert first_line.strip().endswith(" 100")
+
+    def test_path_matches_library(self, built, capsys):
+        from repro.network import load_text, shortest_path
+
+        net_path, idx_path = built
+        main(["path", str(net_path), str(idx_path), "0", "100"])
+        out = capsys.readouterr().out
+        cli_dist = float(out.splitlines()[1].split(":")[1].split("(")[0])
+        net = load_text(net_path)
+        _, true_dist, _ = shortest_path(net, 0, 100)
+        assert cli_dist == pytest.approx(true_dist, rel=1e-5)
+
+
+class TestKnn:
+    def test_knn_output(self, built, capsys):
+        net_path, idx_path = built
+        rc = main([
+            "knn", str(net_path), str(idx_path),
+            "--query", "0", "--k", "3", "--objects", "20",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        ranks = [l for l in out.splitlines() if l.startswith("#")]
+        assert len(ranks) == 3
+        assert "refinements" in out
+
+    def test_knn_matches_library(self, built, capsys):
+        from repro.datasets import random_vertex_objects
+        from repro.network import load_text
+        from repro.objects import ObjectIndex
+        from repro.query import knn
+        from repro.silc import SILCIndex
+
+        net_path, idx_path = built
+        main([
+            "knn", str(net_path), str(idx_path),
+            "--query", "5", "--k", "3", "--objects", "20", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        cli_dists = [
+            float(l.split("distance")[1]) for l in out.splitlines() if l.startswith("#")
+        ]
+        net = load_text(net_path)
+        index = SILCIndex.load(idx_path, net)
+        objects = random_vertex_objects(net, count=20, seed=1)
+        oi = ObjectIndex(net, objects, index.embedding)
+        lib = knn(index, oi, 5, 3, exact=True)
+        assert cli_dists == pytest.approx(
+            [n.distance for n in lib.neighbors], rel=1e-5
+        )
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,89 @@
+"""Tests for the NetworkX bridge."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network import GraphConstructionError
+from repro.network.nx_bridge import from_networkx, to_networkx
+
+
+class TestExport:
+    def test_round_trip(self, small_net):
+        graph = to_networkx(small_net)
+        back = from_networkx(graph)
+        np.testing.assert_allclose(back.xs, small_net.xs)
+        np.testing.assert_allclose(back.ys, small_net.ys)
+        assert sorted(back.iter_edges()) == sorted(small_net.iter_edges())
+
+    def test_export_shape(self, small_net):
+        graph = to_networkx(small_net)
+        assert graph.number_of_nodes() == small_net.num_vertices
+        assert graph.number_of_edges() == small_net.num_edges
+        assert graph.is_directed()
+
+    def test_export_attributes(self, small_net):
+        graph = to_networkx(small_net)
+        assert graph.nodes[0]["x"] == pytest.approx(float(small_net.xs[0]))
+        u, v, w = next(iter(small_net.iter_edges()))
+        assert graph[u][v]["weight"] == pytest.approx(w)
+
+
+class TestImport:
+    def test_undirected_is_symmetrized(self):
+        graph = nx.Graph()
+        graph.add_node(0, x=0.0, y=0.0)
+        graph.add_node(1, x=1.0, y=0.0)
+        graph.add_edge(0, 1, weight=2.0)
+        net = from_networkx(graph)
+        assert net.edge_weight(0, 1) == 2.0
+        assert net.edge_weight(1, 0) == 2.0
+
+    def test_pos_attribute_accepted(self):
+        graph = nx.Graph()
+        graph.add_node("a", pos=(0.0, 0.0))
+        graph.add_node("b", pos=(3.0, 4.0))
+        graph.add_edge("a", "b")
+        net = from_networkx(graph)
+        # missing weight defaults to Euclidean length
+        assert net.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_string_nodes_relabeled_sorted(self):
+        graph = nx.Graph()
+        graph.add_node("z", x=1.0, y=0.0)
+        graph.add_node("a", x=0.0, y=0.0)
+        graph.add_edge("a", "z", weight=1.0)
+        net = from_networkx(graph)
+        assert net.vertex_point(0).x == 0.0  # 'a' -> 0
+        assert net.vertex_point(1).x == 1.0  # 'z' -> 1
+
+    def test_missing_position_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(GraphConstructionError):
+            from_networkx(graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_networkx(nx.Graph())
+
+    def test_custom_weight_key(self):
+        graph = nx.DiGraph()
+        graph.add_node(0, x=0.0, y=0.0)
+        graph.add_node(1, x=1.0, y=0.0)
+        graph.add_edge(0, 1, travel_time=7.0)
+        net = from_networkx(graph, weight="travel_time")
+        assert net.edge_weight(0, 1) == 7.0
+
+    def test_imported_graph_is_indexable(self):
+        """End to end: NetworkX in, SILC queries out."""
+        graph = nx.grid_2d_graph(5, 5)
+        for (gx, gy) in graph.nodes:
+            graph.nodes[(gx, gy)]["x"] = float(gx)
+            graph.nodes[(gx, gy)]["y"] = float(gy)
+        net = from_networkx(graph)
+        net.require_strongly_connected()
+        from repro.silc import SILCIndex
+
+        index = SILCIndex.build(net)
+        assert index.distance(0, net.num_vertices - 1) == pytest.approx(8.0)

@@ -1,0 +1,126 @@
+"""Whole-pipeline property-based tests on small random networks.
+
+These are the paper's invariants run against freshly generated
+networks, object sets, queries and k -- the strongest correctness
+evidence in the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ObjectIndex, SILCIndex, ine_knn, knn, knn_m, road_like_network
+from repro.datasets import random_vertex_objects
+from repro.network import distance_matrix
+
+# Cache of built indexes, keyed by seed: hypothesis re-runs bodies many
+# times and SILC builds are the expensive part.
+_CACHE: dict[int, tuple] = {}
+
+
+def setup(seed: int):
+    if seed not in _CACHE:
+        net = road_like_network(60, seed=seed)
+        _CACHE[seed] = (net, SILCIndex.build(net), distance_matrix(net))
+        if len(_CACHE) > 8:
+            _CACHE.pop(next(iter(_CACHE)))
+    return _CACHE[seed]
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+@given(
+    seed=st.integers(0, 3),
+    query=st.integers(0, 59),
+    k=st.integers(1, 12),
+    obj_seed=st.integers(0, 5),
+    obj_count=st.integers(5, 30),
+)
+def test_knn_matches_brute_force_everywhere(seed, query, k, obj_seed, obj_count):
+    net, index, D = setup(seed)
+    objects = random_vertex_objects(net, count=obj_count, seed=obj_seed)
+    oi = ObjectIndex(net, objects, index.embedding)
+    truth = sorted(float(D[query, o.position.vertex]) for o in objects)
+    expected = truth[: min(k, len(objects))]
+    result = knn(index, oi, query, k, exact=True)
+    got = sorted(n.distance for n in result.neighbors)
+    np.testing.assert_allclose(got, expected, rtol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 3),
+    query=st.integers(0, 59),
+    k=st.integers(1, 10),
+    obj_seed=st.integers(0, 5),
+)
+def test_knn_m_set_equals_ine_set(seed, query, k, obj_seed):
+    """kNN-M returns the same k-set as exact INE (order may differ)."""
+    net, index, D = setup(seed)
+    objects = random_vertex_objects(net, count=20, seed=obj_seed)
+    oi = ObjectIndex(net, objects, index.embedding)
+    a = knn_m(index, oi, query, k, exact=True)
+    b = ine_knn(oi, query, k)
+    np.testing.assert_allclose(
+        sorted(n.distance for n in a.neighbors),
+        sorted(n.distance for n in b.neighbors),
+        rtol=1e-6,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 3),
+    u=st.integers(0, 59),
+    v=st.integers(0, 59),
+)
+def test_interval_refinement_invariants(seed, u, v):
+    """Containment + monotonicity + exact termination for any pair."""
+    net, index, D = setup(seed)
+    r = index.refinable(u, v)
+    truth = float(D[u, v])
+    prev = r.interval
+    assert prev.lo - 1e-9 <= truth <= prev.hi + 1e-9
+    steps = 0
+    while r.refine():
+        cur = r.interval
+        assert cur.lo >= prev.lo - 1e-12
+        assert cur.hi <= prev.hi + 1e-12
+        assert cur.lo - 1e-9 <= truth <= cur.hi + 1e-9
+        prev = cur
+        steps += 1
+        assert steps <= net.num_vertices
+    assert r.acc == pytest.approx(truth, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 3), source=st.integers(0, 59))
+def test_quadtree_encodes_true_first_hops(seed, source):
+    """Every vertex lookup in every shortest-path quadtree is correct."""
+    net, index, D = setup(seed)
+    from repro.network import shortest_path_tree
+
+    tree = shortest_path_tree(net, source)
+    for v in range(net.num_vertices):
+        if v == source:
+            continue
+        hop = index.next_hop(source, v)
+        assert hop == tree.path_to(v)[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 3),
+    query=st.integers(0, 59),
+    k=st.integers(1, 8),
+    obj_seed=st.integers(0, 3),
+)
+def test_neighbor_intervals_always_contain_truth(seed, query, k, obj_seed):
+    """Without exact resolution, reported intervals still bound truth."""
+    net, index, D = setup(seed)
+    objects = random_vertex_objects(net, count=15, seed=obj_seed)
+    oi = ObjectIndex(net, objects, index.embedding)
+    result = knn(index, oi, query, k)  # exact=False
+    lookup = {o.oid: float(D[query, o.position.vertex]) for o in objects}
+    for n in result.neighbors:
+        assert n.interval.lo - 1e-9 <= lookup[n.oid] <= n.interval.hi + 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for repro.quadtree.blocks."""
+
+import numpy as np
+import pytest
+
+from repro.quadtree import BlockTable
+
+
+def make_table():
+    """Blocks: [0,4) level1, [4,5) level0, [8,12) level1 -- gap at [5,8)."""
+    return BlockTable(
+        codes=np.array([0, 4, 8]),
+        levels=np.array([1, 0, 1]),
+        colors=np.array([10, 20, 30]),
+        lam_min=np.array([1.0, 1.1, 1.2]),
+        lam_max=np.array([2.0, 1.1, 1.9]),
+    )
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_table()) == 3
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BlockTable(
+                np.array([0, 4]),
+                np.array([1]),
+                np.array([1, 2]),
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+            )
+
+    def test_unsorted_codes_rejected(self):
+        with pytest.raises(ValueError):
+            BlockTable(
+                np.array([4, 0]),
+                np.array([0, 0]),
+                np.array([1, 2]),
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+            )
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BlockTable(
+                np.array([0, 2]),  # level-1 block [0,4) overlaps [2,3)
+                np.array([1, 0]),
+                np.array([1, 2]),
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+            )
+
+    def test_empty_table(self):
+        t = BlockTable(
+            np.empty(0), np.empty(0), np.empty(0), np.empty(0), np.empty(0)
+        )
+        assert len(t) == 0
+        assert t.locate(5) == -1
+
+
+class TestLocate:
+    def test_hit_inside_block(self):
+        t = make_table()
+        assert t.locate(0) == 0
+        assert t.locate(3) == 0
+        assert t.locate(4) == 1
+        assert t.locate(9) == 2
+
+    def test_miss_in_gap(self):
+        assert make_table().locate(6) == -1
+
+    def test_miss_past_end(self):
+        assert make_table().locate(12) == -1
+
+    def test_lookup_returns_scalars(self):
+        t = make_table()
+        color, lam_lo, lam_hi, row = t.lookup(9)
+        assert (color, lam_lo, lam_hi, row) == (30, 1.2, 1.9, 2)
+        assert isinstance(color, int)
+        assert isinstance(lam_lo, float)
+
+    def test_lookup_miss(self):
+        assert make_table().lookup(7) is None
+
+
+class TestOverlapping:
+    def test_full_range(self):
+        assert list(make_table().overlapping(0, 16)) == [0, 1, 2]
+
+    def test_partial_overlap_from_left(self):
+        # [3, 5) clips block 0 and block 1
+        assert list(make_table().overlapping(3, 5)) == [0, 1]
+
+    def test_gap_only(self):
+        assert list(make_table().overlapping(5, 8)) == []
+
+    def test_empty_range(self):
+        assert list(make_table().overlapping(5, 5)) == []
+
+    def test_range_starting_inside_block(self):
+        assert list(make_table().overlapping(9, 10)) == [2]
+
+
+class TestInspection:
+    def test_block_decode(self):
+        b = make_table().block(0)
+        assert (b.code, b.level, b.color) == (0, 1, 10)
+        assert b.cells == 4
+        assert b.code_end == 4
+
+    def test_iter_blocks(self):
+        assert [b.color for b in make_table().iter_blocks()] == [10, 20, 30]
+
+    def test_total_cells(self):
+        assert make_table().total_cells() == 4 + 1 + 4
+
+    def test_storage_bytes(self):
+        assert make_table().storage_bytes(record_bytes=16) == 48

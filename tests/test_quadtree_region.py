@@ -1,0 +1,167 @@
+"""Unit tests for the region-quadtree builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.morton import block_cells, morton_encode
+from repro.quadtree import build_region_blocks, next_different
+
+
+class TestNextDifferent:
+    def test_empty(self):
+        assert next_different(np.array([])).size == 0
+
+    def test_all_same(self):
+        np.testing.assert_array_equal(
+            next_different(np.array([7, 7, 7])), [3, 3, 3]
+        )
+
+    def test_alternating(self):
+        np.testing.assert_array_equal(
+            next_different(np.array([1, 2, 1])), [1, 2, 3]
+        )
+
+    def test_runs(self):
+        np.testing.assert_array_equal(
+            next_different(np.array([5, 5, 9, 9, 9, 2])), [2, 2, 5, 5, 5, 6]
+        )
+
+    def test_purity_check_semantics(self):
+        labels = np.array([1, 1, 2, 2])
+        nd = next_different(labels)
+        # slice [0,2) pure, [0,3) not
+        assert nd[0] >= 2
+        assert nd[0] < 3
+
+
+def build_from_cells(cells, colors, values, order=3):
+    """Helper: cells as (x, y) pairs -> sorted build inputs."""
+    codes = np.array([morton_encode(x, y) for x, y in cells], dtype=np.int64)
+    perm = np.argsort(codes)
+    return build_region_blocks(
+        codes[perm],
+        np.asarray(colors)[perm],
+        np.asarray(values, dtype=float)[perm],
+        order,
+    )
+
+
+class TestBuilder:
+    def test_single_point_gives_root_block(self):
+        t = build_from_cells([(3, 3)], [1], [1.5], order=3)
+        assert len(t) == 1
+        b = t.block(0)
+        assert b.level == 3 and b.code == 0 and b.color == 1
+        assert b.lam_min == b.lam_max == 1.5
+
+    def test_uniform_colors_collapse_to_root(self):
+        cells = [(x, y) for x in range(4) for y in range(4)]
+        t = build_from_cells(cells, [9] * 16, list(range(16)), order=2)
+        assert len(t) == 1
+        assert t.block(0).lam_min == 0.0
+        assert t.block(0).lam_max == 15.0
+
+    def test_quadrant_colors_split_once(self):
+        # Color by quadrant of a 4x4 grid -> exactly 4 level-1 blocks.
+        cells = [(x, y) for x in range(4) for y in range(4)]
+        colors = [(x // 2) + 2 * (y // 2) for x, y in cells]
+        t = build_from_cells(cells, colors, [1.0] * 16, order=2)
+        assert len(t) == 4
+        assert sorted(t.levels.tolist()) == [1, 1, 1, 1]
+
+    def test_blocks_cover_every_point(self):
+        rng = np.random.default_rng(0)
+        cells = [(int(x), int(y)) for x, y in rng.integers(0, 16, (40, 2))]
+        cells = list(dict.fromkeys(cells))
+        colors = [int(c) for c in rng.integers(0, 3, len(cells))]
+        t = build_from_cells(cells, colors, [1.0] * len(cells), order=4)
+        for (x, y), color in zip(cells, colors):
+            row = t.locate(morton_encode(x, y))
+            assert row >= 0
+            assert t.colors[row] == color
+
+    def test_lambda_annotations_are_slice_extrema(self):
+        cells = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        t = build_from_cells(cells, [5, 5, 5, 5], [3.0, 1.0, 4.0, 2.0], order=1)
+        assert len(t) == 1
+        assert t.block(0).lam_min == 1.0
+        assert t.block(0).lam_max == 4.0
+
+    def test_rejects_duplicate_codes(self):
+        codes = np.array([3, 3])
+        with pytest.raises(ValueError):
+            build_region_blocks(codes, np.array([1, 2]), np.array([1.0, 1.0]), 2)
+
+    def test_rejects_code_outside_grid(self):
+        codes = np.array([block_cells(2)])  # = 16, outside a 4x4 grid
+        with pytest.raises(ValueError):
+            build_region_blocks(codes, np.array([1]), np.array([1.0]), 2)
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            build_region_blocks(
+                np.array([0, 1]), np.array([1]), np.array([1.0, 2.0]), 2
+            )
+
+    def test_empty_input(self):
+        t = build_region_blocks(np.empty(0), np.empty(0), np.empty(0), 3)
+        assert len(t) == 0
+
+
+@st.composite
+def colored_grids(draw):
+    order = draw(st.integers(2, 4))
+    side = 1 << order
+    n = draw(st.integers(1, min(30, side * side)))
+    cells = draw(
+        st.lists(
+            st.tuples(st.integers(0, side - 1), st.integers(0, side - 1)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    colors = draw(
+        st.lists(st.integers(0, 4), min_size=len(cells), max_size=len(cells))
+    )
+    values = draw(
+        st.lists(
+            st.floats(0.5, 10, allow_nan=False),
+            min_size=len(cells),
+            max_size=len(cells),
+        )
+    )
+    return order, cells, colors, values
+
+
+class TestBuilderProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(colored_grids())
+    def test_invariants(self, data):
+        """Coverage, purity, disjointness, and lambda containment."""
+        order, cells, colors, values = data
+        codes = np.array([morton_encode(x, y) for x, y in cells], dtype=np.int64)
+        perm = np.argsort(codes)
+        table = build_region_blocks(
+            codes[perm],
+            np.asarray(colors)[perm],
+            np.asarray(values)[perm],
+            order,
+        )
+        # every point is covered by a block of its color, with its
+        # value inside the lambda interval
+        for (x, y), color, value in zip(cells, colors, values):
+            row = table.locate(morton_encode(x, y))
+            assert row >= 0
+            assert table.colors[row] == color
+            assert table.lam_min[row] <= value <= table.lam_max[row]
+        # blocks are disjoint and sorted (enforced by BlockTable) and
+        # every block contains at least one point (no empty blocks)
+        covered = 0
+        code_set = set(codes.tolist())
+        for b in table.iter_blocks():
+            assert any(b.code <= c < b.code_end for c in code_set)
+            covered += 1
+        assert covered == len(table)

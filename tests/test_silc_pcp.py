@@ -1,0 +1,105 @@
+"""Unit tests for the Path-Coherent Pair oracle."""
+
+import numpy as np
+import pytest
+
+from repro.network import distance_matrix, road_like_network
+from repro.silc.pcp import PCPOracle
+
+
+@pytest.fixture(scope="module")
+def pcp_setup():
+    net = road_like_network(120, seed=21)
+    oracle = PCPOracle.build(net, epsilon=0.3)
+    return net, oracle, distance_matrix(net)
+
+
+class TestBuild:
+    def test_epsilon_validation(self, small_net):
+        with pytest.raises(ValueError):
+            PCPOracle.build(small_net, epsilon=0.0)
+
+    def test_size_guard(self, small_net):
+        with pytest.raises(ValueError):
+            PCPOracle.build(small_net, max_vertices=10)
+
+    def test_pairs_exist(self, pcp_setup):
+        _, oracle, _ = pcp_setup
+        assert oracle.num_pairs() > 0
+
+    def test_all_vertex_pairs_covered(self, pcp_setup):
+        net, oracle, _ = pcp_setup
+        n = net.num_vertices
+        assert oracle.covered_vertex_pairs() == n * n
+
+    def test_compression_beats_explicit(self, pcp_setup):
+        """Fewer PCP records than vertex pairs: the whole point."""
+        net, oracle, _ = pcp_setup
+        assert oracle.num_pairs() < net.num_vertices**2
+
+
+class TestQueries:
+    def test_interval_contains_truth_everywhere(self, pcp_setup):
+        net, oracle, D = pcp_setup
+        n = net.num_vertices
+        for u in range(0, n, 7):
+            for v in range(0, n, 11):
+                iv = oracle.distance_interval(u, v)
+                assert iv.lo - 1e-9 <= D[u, v] <= iv.hi + 1e-9
+
+    def test_epsilon_guarantee(self, pcp_setup):
+        net, oracle, _ = pcp_setup
+        n = net.num_vertices
+        for u in range(0, n, 5):
+            for v in range(0, n, 13):
+                if u == v:
+                    continue
+                iv = oracle.distance_interval(u, v)
+                if iv.lo > 0:
+                    assert iv.hi <= (1.0 + oracle.epsilon) * iv.lo + 1e-9
+
+    def test_approximate_distance_error_bounded(self, pcp_setup):
+        net, oracle, D = pcp_setup
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            u, v = map(int, rng.integers(0, net.num_vertices, 2))
+            approx = oracle.distance(u, v)
+            truth = D[u, v]
+            if truth > 0:
+                assert abs(approx - truth) <= oracle.epsilon * truth + 1e-9
+
+    def test_self_distance(self, pcp_setup):
+        _, oracle, _ = pcp_setup
+        assert oracle.distance(5, 5) == 0.0
+        assert oracle.access_vertex(5, 5) == 5
+
+    def test_access_vertex_on_some_shortest_path(self, pcp_setup):
+        """The dumbbell vertex must not detour beyond the epsilon slack."""
+        net, oracle, D = pcp_setup
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            u, v = map(int, rng.integers(0, net.num_vertices, 2))
+            if u == v:
+                continue
+            t = oracle.access_vertex(u, v)
+            via = D[u, t] + D[t, v]
+            assert via <= (1.0 + oracle.epsilon) * D[u, v] + 1e-9
+
+    def test_vertex_validation(self, pcp_setup):
+        from repro.network import VertexNotFound
+
+        _, oracle, _ = pcp_setup
+        with pytest.raises(VertexNotFound):
+            oracle.distance_interval(0, 10_000)
+
+
+class TestScaling:
+    def test_smaller_epsilon_more_pairs(self):
+        net = road_like_network(80, seed=5)
+        loose = PCPOracle.build(net, epsilon=0.5)
+        tight = PCPOracle.build(net, epsilon=0.1)
+        assert tight.num_pairs() > loose.num_pairs()
+
+    def test_storage_bytes(self, pcp_setup):
+        _, oracle, _ = pcp_setup
+        assert oracle.storage_bytes(32) == oracle.num_pairs() * 32

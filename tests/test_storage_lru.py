@@ -1,0 +1,96 @@
+"""Unit tests for the LRU page cache, incl. a reference-model property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import CacheStats, LRUCache
+
+
+class TestLRUBehaviour:
+    def test_miss_then_hit(self):
+        c = LRUCache(capacity=2)
+        assert not c.access(1)
+        assert c.access(1)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(capacity=2)
+        c.access(1)
+        c.access(2)
+        c.access(1)  # 1 becomes most recent
+        c.access(3)  # evicts 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_capacity_never_exceeded(self):
+        c = LRUCache(capacity=3)
+        for i in range(10):
+            c.access(i)
+            assert len(c) <= 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_clear_keeps_stats(self):
+        c = LRUCache(capacity=2)
+        c.access(1)
+        c.clear()
+        assert len(c) == 0
+        assert c.stats.misses == 1
+        assert not c.access(1)  # cold again
+
+    def test_eviction_counter(self):
+        c = LRUCache(capacity=1)
+        c.access(1)
+        c.access(2)
+        c.access(3)
+        assert c.stats.evictions == 2
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        s = CacheStats(accesses=10, hits=7, misses=3)
+        assert s.hit_rate == pytest.approx(0.7)
+
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_io_time(self):
+        s = CacheStats(accesses=10, hits=7, misses=3)
+        assert s.io_time(0.002) == pytest.approx(0.006)
+
+    def test_delta_since(self):
+        a = CacheStats(accesses=5, hits=3, misses=2)
+        b = CacheStats(accesses=9, hits=5, misses=4, evictions=1)
+        d = b.delta_since(a)
+        assert (d.accesses, d.hits, d.misses, d.evictions) == (4, 2, 2, 1)
+
+    def test_snapshot_is_independent(self):
+        c = LRUCache(capacity=2)
+        snap = c.stats.snapshot()
+        c.access(1)
+        assert snap.accesses == 0
+        assert c.stats.accesses == 1
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.lists(st.integers(0, 12), min_size=1, max_size=120),
+    )
+    def test_matches_naive_lru_simulation(self, capacity, accesses):
+        """Hits/misses must match an obviously correct list-based model."""
+        cache = LRUCache(capacity=capacity)
+        reference: list[int] = []
+        for page in accesses:
+            expect_hit = page in reference
+            if expect_hit:
+                reference.remove(page)
+            reference.append(page)
+            if len(reference) > capacity:
+                reference.pop(0)
+            assert cache.access(page) == expect_hit
+            assert len(cache) == len(reference)
+            assert set(reference) == {p for p in reference if p in cache}

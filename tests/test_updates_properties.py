@@ -1,0 +1,86 @@
+"""Property-based validation of localized updates on random networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import distance_matrix, road_like_network
+from repro.silc import SILCIndex
+from repro.silc.updates import update_index
+
+_CACHE: dict[int, tuple] = {}
+
+
+def setup(seed: int):
+    if seed not in _CACHE:
+        net = road_like_network(50, seed=seed + 400)
+        _CACHE[seed] = (net, SILCIndex.build(net))
+        if len(_CACHE) > 6:
+            _CACHE.pop(next(iter(_CACHE)))
+    return _CACHE[seed]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2),
+    edge_pick=st.integers(0, 10_000),
+    factor=st.floats(1.5, 5.0),
+)
+def test_weight_increase_equals_full_rebuild(seed, edge_pick, factor):
+    """Slowing any edge, patched index == rebuilt index (distances)."""
+    net, index = setup(seed)
+    edges = list(net.iter_edges())
+    u, v, w = edges[edge_pick % len(edges)]
+    slowed = net.without_edges([(u, v)]).with_edges([(u, v, w * factor)])
+    patched, _ = update_index(index, slowed)
+    D = distance_matrix(slowed)
+    rng = np.random.default_rng(edge_pick)
+    for _ in range(25):
+        a, b = map(int, rng.integers(0, net.num_vertices, 2))
+        assert patched.distance(a, b) == pytest.approx(
+            D[a, b], rel=1e-9, abs=1e-12
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2),
+    a=st.integers(0, 49),
+    b=st.integers(0, 49),
+)
+def test_shortcut_insertion_equals_full_rebuild(seed, a, b):
+    """Adding any metric shortcut, patched index == rebuilt index."""
+    net, index = setup(seed)
+    if a == b or net.has_edge(a, b):
+        return
+    w = max(net.euclidean(a, b), 1e-6)
+    boosted = net.with_edges([(a, b, w), (b, a, w)])
+    patched, _ = update_index(index, boosted)
+    D = distance_matrix(boosted)
+    rng = np.random.default_rng(a * 100 + b)
+    for _ in range(25):
+        s, t = map(int, rng.integers(0, net.num_vertices, 2))
+        assert patched.distance(s, t) == pytest.approx(
+            D[s, t], rel=1e-9, abs=1e-12
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2), edge_pick=st.integers(0, 10_000))
+def test_removal_equals_full_rebuild_when_connected(seed, edge_pick):
+    """Closing any edge that keeps connectivity, patched == rebuilt."""
+    net, index = setup(seed)
+    edges = list(net.iter_edges())
+    u, v, _ = edges[edge_pick % len(edges)]
+    closed = net.without_edges([(u, v), (v, u)])
+    if closed.num_strongly_connected_components() != 1:
+        return
+    patched, rebuilt = update_index(index, closed)
+    D = distance_matrix(closed)
+    rng = np.random.default_rng(edge_pick + 1)
+    for _ in range(25):
+        s, t = map(int, rng.integers(0, net.num_vertices, 2))
+        assert patched.distance(s, t) == pytest.approx(
+            D[s, t], rel=1e-9, abs=1e-12
+        )
