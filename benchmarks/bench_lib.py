@@ -11,12 +11,15 @@ for EXPERIMENTS.md.
 from __future__ import annotations
 
 import functools
+import os
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro import ObjectIndex, SILCIndex, road_like_network
 from repro.datasets import random_vertex_objects
+from repro.silc import available_workers
 from repro.storage import NetworkStorageModel
 
 #: One seed for the whole evaluation, as reproducible as the paper's
@@ -29,6 +32,12 @@ BENCH_SEED = 42
 #: so shapes, not absolutes, carry the comparison.
 BENCH_N = 3000
 
+#: Worker processes for every benchmark index build.  Defaults to one
+#: per available CPU (serial on a single-CPU runner, where pool
+#: overhead would only slow things down); override with the
+#: ``REPRO_BENCH_WORKERS`` environment variable (0 = all CPUs).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", available_workers()))
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -38,8 +47,29 @@ def cached_network(n: int, seed: int = BENCH_SEED):
 
 
 @functools.lru_cache(maxsize=4)
-def cached_index(n: int, seed: int = BENCH_SEED):
-    return SILCIndex.build(cached_network(n, seed), chunk_size=256)
+def cached_index(n: int, seed: int = BENCH_SEED, workers: int = BENCH_WORKERS):
+    t0 = time.perf_counter()
+    index = SILCIndex.build(
+        cached_network(n, seed), chunk_size=256, workers=workers
+    )
+    record_build_time(n, seed, workers, time.perf_counter() - t0)
+    return index
+
+
+def record_build_time(n: int, seed: int, workers: int, seconds: float) -> None:
+    """Append one build timing to ``results/build_times.txt``.
+
+    The file accumulates across runs (one line per fresh build), so
+    the precompute-cost trajectory of the repo can be tracked from PR
+    to PR without re-running old revisions.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    with (RESULTS_DIR / "build_times.txt").open("a") as f:
+        f.write(
+            f"{stamp} n={n} seed={seed} workers={workers} "
+            f"seconds={seconds:.3f}\n"
+        )
 
 
 def make_objects(net, index, density, seed=BENCH_SEED):

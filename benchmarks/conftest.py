@@ -1,9 +1,35 @@
-"""Benchmark fixtures (see bench_lib for the shared helpers)."""
+"""Benchmark fixtures (see bench_lib for the shared helpers).
+
+Also owns the ``slowbench`` marker: benchmarks that build fresh
+multi-thousand-vertex indexes (>5 s of precompute each) are skipped in
+the default run so the tier-1 suite stays fast and green.  Run them
+explicitly with ``-m slowbench`` (or any ``-m`` expression of your
+own, which always takes precedence).
+"""
 
 import numpy as np
 import pytest
 
 from bench_lib import BENCH_N, BENCH_SEED, cached_index, cached_network
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slowbench: benchmark dominated by >5s index builds; "
+        "excluded from the default run (select with -m slowbench)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.option.markexpr:
+        return  # an explicit -m expression overrides the default skip
+    skip = pytest.mark.skip(
+        reason="slowbench excluded by default; run with -m slowbench"
+    )
+    for item in items:
+        if "slowbench" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,7 @@ sweeps the all-pairs chunk size (our builder's only tuning knob).
 import time
 
 import numpy as np
+import pytest
 
 from bench_lib import SeriesRecorder, cached_network
 from repro.silc import SILCIndex
@@ -18,6 +19,7 @@ SIZES = [250, 500, 1000, 2000]
 CHUNKS = [16, 64, 256, 1024]
 
 
+@pytest.mark.slowbench
 def test_build_scaling(benchmark, capsys):
     recorder = SeriesRecorder(
         "build_scaling",

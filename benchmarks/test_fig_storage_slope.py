@@ -7,12 +7,14 @@ network sizes and fit the same regression.
 """
 
 import numpy as np
+import pytest
 
 from bench_lib import BENCH_SEED, SeriesRecorder, cached_index, cached_network
 
 SIZES = [500, 1000, 2000, 4000]
 
 
+@pytest.mark.slowbench
 def test_storage_slope(benchmark, capsys):
     recorder = SeriesRecorder(
         "fig_storage_slope",

@@ -1,0 +1,86 @@
+"""Parallel precompute: build-time speedup and bit-identity.
+
+The paper's p.27 "Musings" argue the SILC precompute is embarrassingly
+parallel across sources; ``repro.silc.parallel`` implements that claim
+with a process pool.  This benchmark builds the same 1000-vertex
+road-like network serially and with ``workers=4`` and checks:
+
+* the two indexes are **byte-identical** (same embedding, same vertex
+  codes, same block-table columns, bit for bit) -- parallelism must
+  never change the answer;
+* on hardware with enough CPUs, the wall-clock speedup is real
+  (>= 2x with 4 workers on >= 4 CPUs).  On smaller runners the
+  speedup is recorded but not asserted: a 1-CPU container cannot
+  physically exceed 1x, and asserting otherwise would only make the
+  suite flaky in the other direction.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_lib import SeriesRecorder, cached_network
+from repro.silc import SILCIndex, available_workers
+
+N = 1000
+WORKERS = 4
+TABLE_COLUMNS = ("codes", "levels", "colors", "lam_min", "lam_max")
+
+
+def _identical(a: SILCIndex, b: SILCIndex) -> bool:
+    if a.embedding.order != b.embedding.order or a.embedding.bounds != b.embedding.bounds:
+        return False
+    if not np.array_equal(a.vertex_codes, b.vertex_codes):
+        return False
+    for ta, tb in zip(a.tables, b.tables):
+        for col in TABLE_COLUMNS:
+            ca, cb = getattr(ta, col), getattr(tb, col)
+            if ca.dtype != cb.dtype or not np.array_equal(ca, cb):
+                return False
+    return True
+
+
+@pytest.mark.slowbench
+def test_parallel_build_speedup(benchmark, capsys):
+    recorder = SeriesRecorder(
+        "parallel_build",
+        ["mode", "workers", "build_seconds", "speedup", "cpus"],
+    )
+    net = cached_network(N)
+    cpus = available_workers()
+
+    def build_both():
+        t0 = time.perf_counter()
+        serial = SILCIndex.build(net, chunk_size=64)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = SILCIndex.build(net, chunk_size=64, workers=WORKERS)
+        t_parallel = time.perf_counter() - t0
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = benchmark.pedantic(
+        build_both, rounds=1, iterations=1
+    )
+    speedup = t_serial / t_parallel
+    recorder.add("serial", 1, t_serial, 1.0, cpus)
+    recorder.add("parallel", WORKERS, t_parallel, speedup, cpus)
+    recorder.emit(capsys)
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cpus"] = cpus
+
+    # Bit-identity is the non-negotiable invariant, on any hardware.
+    assert _identical(serial, parallel), (
+        "parallel build produced a different index than the serial build"
+    )
+
+    # Wall-clock speedup only where the hardware can deliver it.
+    if cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {WORKERS} workers on {cpus} "
+            f"CPUs, measured {speedup:.2f}x"
+        )
+    elif cpus >= 2:
+        assert speedup >= 1.2, (
+            f"expected some speedup with {cpus} CPUs, measured {speedup:.2f}x"
+        )

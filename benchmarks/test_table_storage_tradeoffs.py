@@ -27,6 +27,13 @@ from repro.silc.pcp import PCPOracle
 N = 400
 QUERY_PAIRS = 40
 
+#: Timing repetitions.  Wall-clock orderings are asserted on the
+#: best-of-R pass: a single pass is at the mercy of whatever else the
+#: machine is doing (the full benchmark suite, for one), while the
+#: minimum over several passes approaches the true cost of the code
+#: path and is stable under load.
+TIMING_REPEATS = 5
+
 
 def test_storage_tradeoffs(benchmark, capsys):
     recorder = SeriesRecorder(
@@ -50,10 +57,13 @@ def test_storage_tradeoffs(benchmark, capsys):
     )
 
     def timed(fn):
-        t0 = time.perf_counter()
-        for u, v in pairs:
-            fn(u, v)
-        return (time.perf_counter() - t0) / QUERY_PAIRS * 1e6
+        best = float("inf")
+        for _ in range(TIMING_REPEATS):
+            t0 = time.perf_counter()
+            for u, v in pairs:
+                fn(u, v)
+            best = min(best, time.perf_counter() - t0)
+        return best / QUERY_PAIRS * 1e6
 
     rows = {
         "explicit": (
@@ -91,8 +101,22 @@ def test_storage_tradeoffs(benchmark, capsys):
         recorder.add(scheme, bytes_, path_us, dist_us, notes)
     recorder.emit(capsys)
 
-    # --- the paper's orderings --------------------------------------------
+    # --- deterministic invariants (independent of machine load) -----------
+    # Storage byte orderings: the table's space column.
     assert rows["explicit"][0] > rows["next_hop"][0] > rows["silc"][0]
+    # Counted operations: SILC retrieves a path in size-of-path block
+    # probes, while Dijkstra must settle every vertex closer than the
+    # target -- the asymptotic gap the timing columns only estimate.
+    silc_probes = sum(len(silc.path(u, v)) - 1 for u, v in pairs)
+    dijkstra_settled = sum(
+        shortest_path(net, u, v)[2].settled for u, v in pairs
+    )
+    assert silc_probes < dijkstra_settled, (
+        f"SILC path probes ({silc_probes}) must undercut Dijkstra "
+        f"settled vertices ({dijkstra_settled})"
+    )
+
+    # --- the paper's orderings (best-of-R wall clock) ---------------------
     # Path retrieval from any precomputed scheme crushes Dijkstra.
     assert rows["silc"][1] < rows["dijkstra"][1]
     assert rows["next_hop"][1] < rows["dijkstra"][1]

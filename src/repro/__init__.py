@@ -11,19 +11,32 @@ evaluation.
 Quick start::
 
     from repro import (
-        road_like_network, SILCIndex, ObjectIndex, knn,
+        road_like_network, SILCIndex, ObjectIndex, QueryEngine, knn,
     )
     from repro.datasets import random_vertex_objects
 
     net = road_like_network(1000, seed=7)
-    index = SILCIndex.build(net)
+    # workers=0 fans the per-source precompute across every available
+    # CPU (workers=N for an explicit pool size); the parallel build is
+    # byte-identical to the serial one.
+    index = SILCIndex.build(net, workers=0)
     objects = random_vertex_objects(net, density=0.05, seed=7)
     object_index = ObjectIndex(net, objects, index.embedding)
+
+    # One-off query:
     result = knn(index, object_index, query=0, k=5, exact=True)
     for neighbor in result.neighbors:
         print(neighbor.oid, neighbor.distance)
+
+    # Serving many queries: QueryEngine caches resolved locations,
+    # keeps one (warm) storage simulator attached, and aggregates the
+    # per-query stats into one batch-level QueryStats.
+    engine = QueryEngine(index, object_index, cache_fraction=0.05)
+    batch = engine.knn_batch(range(100), k=5, variant="knn_m")
+    print(len(batch), "queries,", batch.stats.refinements, "refinements")
 """
 
+from repro.engine import BatchResult, QueryEngine
 from repro.geometry import GridEmbedding, Point, Rect
 from repro.network import (
     SpatialNetwork,
@@ -108,6 +121,8 @@ __all__ = [
     "update_index",
     "KNNResult",
     "Neighbor",
+    "QueryEngine",
+    "BatchResult",
     "QueryStats",
     "StorageSimulator",
     "LRUCache",

@@ -5,10 +5,14 @@ writing Python -- generate networks, run the precompute, persist the
 index, and answer queries from the shell::
 
     python -m repro generate --kind road --size 1000 --seed 7 net.txt
-    python -m repro build net.txt index.npz
+    python -m repro build net.txt index.npz --workers 0
     python -m repro stats net.txt index.npz
     python -m repro path net.txt index.npz 0 250
     python -m repro knn net.txt index.npz --query 0 --k 5 --objects 40
+
+``build --workers`` fans the per-source precompute across a process
+pool (0 = one worker per CPU); ``knn`` accepts ``--query`` repeatedly
+and answers the whole batch through one :class:`~repro.engine.QueryEngine`.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import sys
 import time
 
 from repro.datasets import random_vertex_objects
+from repro.engine import QueryEngine
 from repro.network import (
     grid_network,
     load_text,
@@ -26,7 +31,6 @@ from repro.network import (
     save_text,
 )
 from repro.objects import ObjectIndex
-from repro.query import knn
 from repro.silc import SILCIndex
 
 
@@ -57,7 +61,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
             last_report[0] = now
             print(f"  {done}/{total} sources", file=sys.stderr)
 
-    index = SILCIndex.build(net, progress=progress)
+    index = SILCIndex.build(
+        net,
+        chunk_size=args.chunk_size,
+        progress=progress,
+        workers=args.workers,
+    )
     index.save(args.index)
     dt = time.perf_counter() - t0
     print(
@@ -98,14 +107,18 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     index = SILCIndex.load(args.index, net)
     objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
     object_index = ObjectIndex(net, objects, index.embedding)
-    result = knn(index, object_index, args.query, args.k, exact=True)
-    for rank, n in enumerate(result.neighbors, start=1):
-        vertex = objects[n.oid].position.vertex
-        print(f"#{rank}  object {n.oid}  vertex {vertex}  "
-              f"distance {n.distance:.6g}")
+    engine = QueryEngine(index, object_index)
+    batch = engine.knn_batch(args.query, args.k, exact=True)
+    for query, result in zip(args.query, batch.results):
+        if len(args.query) > 1:
+            print(f"query vertex {query}:")
+        for rank, n in enumerate(result.neighbors, start=1):
+            vertex = objects[n.oid].position.vertex
+            print(f"#{rank}  object {n.oid}  vertex {vertex}  "
+                  f"distance {n.distance:.6g}")
     print(
-        f"({result.stats.refinements} refinements, "
-        f"peak queue {result.stats.max_queue})"
+        f"({batch.stats.refinements} refinements, "
+        f"peak queue {max(r.stats.max_queue for r in batch.results)})"
     )
     return 0
 
@@ -127,6 +140,20 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("build", help="run the SILC precompute")
     p.add_argument("network")
     p.add_argument("index", help="output index file (.npz)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the per-source builds "
+        "(1 = serial, 0 = one per available CPU; the parallel result "
+        "is byte-identical to the serial one)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=128,
+        help="sources per shortest-path batch (memory/throughput knob)",
+    )
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("stats", help="report index statistics")
@@ -144,7 +171,14 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("knn", help="k nearest random objects to a vertex")
     p.add_argument("network")
     p.add_argument("index")
-    p.add_argument("--query", type=int, required=True)
+    p.add_argument(
+        "--query",
+        type=int,
+        action="append",
+        required=True,
+        help="query vertex; repeat the flag to answer a whole batch "
+        "through one QueryEngine",
+    )
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--objects", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)

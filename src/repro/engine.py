@@ -1,0 +1,195 @@
+"""Batched query serving: the :class:`QueryEngine` facade.
+
+A long-lived service answering network-distance queries holds one
+built :class:`~repro.silc.SILCIndex`, one object index, and (in the
+paper's disk-resident setting) one page buffer -- and then answers
+*many* queries against them.  :class:`QueryEngine` packages exactly
+that serving state:
+
+* resolved query locations are cached, so repeated queries from the
+  same vertex/position skip :func:`~repro.query.location.resolve_location`
+  (for free-point queries that is an O(N) nearest-vertex scan);
+* one :class:`~repro.storage.StorageSimulator` is attached for the
+  whole lifetime of the engine, so the LRU buffer stays warm across
+  queries -- the server-cache regime, as opposed to the per-query cold
+  caches of the benchmark protocol;
+* per-query :class:`~repro.query.stats.QueryStats` are aggregated into
+  a single batch-level stats object.
+
+Example::
+
+    engine = QueryEngine(index, object_index, cache_fraction=0.05)
+    batch = engine.knn_batch(range(100), k=5, variant="knn_m")
+    print(len(batch), "queries,", batch.stats.refinements, "refinements")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from time import perf_counter
+from typing import Iterable, Iterator
+
+from repro.objects.index import ObjectIndex
+from repro.objects.model import NetworkPosition
+from repro.query.bestfirst import VARIANTS, best_first_knn
+from repro.query.location import resolve_location
+from repro.query.results import KNNResult
+from repro.query.stats import QueryStats
+from repro.silc.index import SILCIndex
+from repro.storage.simulator import StorageSimulator
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The answers to one batch of k-nearest-neighbor queries.
+
+    ``results`` is in query order; ``stats`` is the sum of every
+    per-query counter (see :meth:`QueryStats.merge`); ``elapsed`` is
+    the wall-clock time of the whole batch including location
+    resolution.
+    """
+
+    results: list[KNNResult]
+    stats: QueryStats
+    elapsed: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[KNNResult]:
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> KNNResult:
+        return self.results[i]
+
+    def ids(self) -> list[list[int]]:
+        """Per-query neighbor oids, in query order."""
+        return [r.ids() for r in self.results]
+
+
+class QueryEngine:
+    """Many queries against one index: the serving-side facade.
+
+    Parameters
+    ----------
+    index:
+        A built SILC index.
+    object_index:
+        The spatial index over the object set queries run against.
+    storage:
+        An existing simulator to account page traffic through; stays
+        attached for every query the engine runs (warm server cache).
+    cache_fraction:
+        Convenience alternative to ``storage``: build a simulator
+        sized to this fraction of the index pages.  Mutually exclusive
+        with ``storage``; omit both to run without I/O accounting.
+    """
+
+    def __init__(
+        self,
+        index: SILCIndex,
+        object_index: ObjectIndex,
+        storage: StorageSimulator | None = None,
+        cache_fraction: float | None = None,
+    ) -> None:
+        if storage is not None and cache_fraction is not None:
+            raise ValueError("pass either storage or cache_fraction, not both")
+        if cache_fraction is not None:
+            storage = index.make_storage(cache_fraction=cache_fraction)
+        self.index = index
+        self.object_index = object_index
+        self.storage = storage
+        self._positions: dict = {}
+
+    # ------------------------------------------------------------------
+    # Locations
+    # ------------------------------------------------------------------
+    def resolve(self, query) -> NetworkPosition:
+        """Resolve a query location, caching hashable query forms."""
+        try:
+            cached = self._positions.get(query)
+        except TypeError:  # unhashable query form: resolve every time
+            return resolve_location(self.index.network, query)
+        if cached is None:
+            cached = resolve_location(self.index.network, query)
+            self._positions[query] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(self, query, k: int, variant: str = "knn", exact: bool = False) -> KNNResult:
+        """One k-nearest-neighbor query through the engine's shared state."""
+        position = self.resolve(query)
+        attached, previous = self._attach()
+        try:
+            return best_first_knn(
+                self.index, self.object_index, position, k,
+                variant=variant, exact=exact,
+            )
+        finally:
+            self._restore(attached, previous)
+
+    def knn_batch(
+        self,
+        queries: Iterable,
+        k: int,
+        variant: str = "knn",
+        exact: bool = False,
+    ) -> BatchResult:
+        """Answer many kNN queries in one pass over the shared state.
+
+        Equivalent to calling :func:`repro.query.knn` (or the chosen
+        variant) once per query -- same neighbors, same order -- but
+        locations resolve once per distinct query, the storage
+        simulator persists across the whole batch, and the per-query
+        stats are additionally merged into ``BatchResult.stats``.
+        """
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        t_start = perf_counter()
+        positions = [self.resolve(q) for q in queries]
+        results: list[KNNResult] = []
+        attached, previous = self._attach()
+        try:
+            for position in positions:
+                results.append(
+                    best_first_knn(
+                        self.index, self.object_index, position, k,
+                        variant=variant, exact=exact,
+                    )
+                )
+        finally:
+            self._restore(attached, previous)
+        stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())
+        return BatchResult(
+            results=results, stats=stats, elapsed=perf_counter() - t_start
+        )
+
+    # ------------------------------------------------------------------
+    # Storage plumbing
+    # ------------------------------------------------------------------
+    def _attach(self) -> tuple[bool, StorageSimulator | None]:
+        """Attach the engine's simulator to the index.
+
+        Returns ``(attached, previous)``: whether a restore is owed and
+        the simulator that was attached before (so a caller-attached
+        simulator survives the engine's queries instead of being
+        silently detached).
+        """
+        if self.storage is None or self.index.storage is self.storage:
+            return False, None
+        previous = self.index.storage
+        self.index.attach_storage(self.storage)
+        return True, previous
+
+    def _restore(self, attached: bool, previous: StorageSimulator | None) -> None:
+        if not attached:
+            return
+        if previous is None:
+            self.index.detach_storage()
+        else:
+            self.index.attach_storage(previous)

@@ -85,6 +85,25 @@ def first_hops_from_predecessors(
     return first
 
 
+def materialize_sources(
+    network: SpatialNetwork, sources: Sequence[int] | None
+) -> list[int] | None:
+    """Validate and materialize a ``sources`` argument.
+
+    Accepts any iterable -- including a one-shot generator, which would
+    otherwise be silently exhausted by a ``len(list(...))`` probe -- and
+    returns a plain list of vertex ids, or ``None`` when ``sources`` is
+    ``None`` (meaning: every vertex).  Every id is range-checked here so
+    consumers can iterate without re-validating.
+    """
+    if sources is None:
+        return None
+    out = [int(s) for s in sources]
+    for s in out:
+        network.check_vertex(s)
+    return out
+
+
 def single_source_row(
     network: SpatialNetwork, source: int, limit: float = np.inf
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -117,9 +136,9 @@ def all_pairs_rows(
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
-    all_sources = list(network.vertices()) if sources is None else list(sources)
-    for s in all_sources:
-        network.check_vertex(s)
+    all_sources = materialize_sources(network, sources)
+    if all_sources is None:
+        all_sources = list(network.vertices())
     csr = network.to_csr()
     for start in range(0, len(all_sources), chunk_size):
         chunk = all_sources[start : start + chunk_size]

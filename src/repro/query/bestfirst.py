@@ -57,26 +57,35 @@ class _ResultQueue:
     of fig p.38 can be reported.
     """
 
-    __slots__ = ("entries", "_seq", "stats")
+    __slots__ = ("entries", "_where", "_seq", "stats")
 
     def __init__(self, stats: QueryStats) -> None:
         self.entries: list[tuple[float, int, int]] = []  # (hi, seq, oid)
+        self._where: dict[int, tuple[float, int, int]] = {}  # oid -> entry
         self._seq = itertools.count()
         self.stats = stats
 
     def add(self, oid: int, hi: float) -> None:
         start = perf_counter()
-        insort(self.entries, (hi, next(self._seq), oid))
+        entry = (hi, next(self._seq), oid)
+        insort(self.entries, entry)
+        self._where[oid] = entry
         self.stats.l_ops += 1
         self.stats.l_time += perf_counter() - start
 
-    def update(self, oid: int, old_hi: float, hi: float) -> None:
+    def update(self, oid: int, hi: float) -> None:
         start = perf_counter()
-        for i, entry in enumerate(self.entries):
-            if entry[2] == oid:
+        # The oid -> entry map turns the former linear scan into one
+        # binary search (entries are unique tuples, so bisect lands
+        # exactly on the stale entry).
+        old = self._where.get(oid)
+        if old is not None:
+            i = bisect_left(self.entries, old)
+            if i < len(self.entries) and self.entries[i] is old:
                 del self.entries[i]
-                break
-        insort(self.entries, (hi, next(self._seq), oid))
+        entry = (hi, next(self._seq), oid)
+        insort(self.entries, entry)
+        self._where[oid] = entry
         self.stats.l_ops += 1
         self.stats.l_time += perf_counter() - start
 
@@ -288,7 +297,7 @@ def best_first_knn(
         state.refine()
         new_interval = state.interval
         if use_dk:
-            result_queue.update(state.oid, interval.hi, new_interval.hi)
+            result_queue.update(state.oid, new_interval.hi)
         if kmin_tracker is not None:
             kmin_tracker.replace(old_lo, new_interval.lo)
         if new_interval.lo < prune_bound():
@@ -303,7 +312,8 @@ def best_first_knn(
     if len(result_states) < k and len(states) >= len(result_states):
         # Boundary ties (or k > |S|): fall back to the tightest
         # remaining candidates, resolved exactly for safety.
-        remaining = [s for s in states.values() if s not in result_states]
+        confirmed_oids = {s.oid for s in result_states}
+        remaining = [s for s in states.values() if s.oid not in confirmed_oids]
         remaining.sort(key=lambda s: s.interval.lo)
         fill = remaining[: k - len(result_states)]
         for s in fill:

@@ -7,6 +7,11 @@ Shortest-path maps, shortest-path quadtrees, the per-network
 from repro.silc.coloring import ShortestPathMap, shortest_path_map, shortest_path_maps
 from repro.silc.index import SILCIndex
 from repro.silc.intervals import DistanceInterval
+from repro.silc.parallel import (
+    available_workers,
+    parallel_block_tables,
+    resolve_workers,
+)
 from repro.silc.proximal import BeyondHorizonError, ProximalSILCIndex
 from repro.silc.refinement import RefinableDistance, RefinementCounter
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
@@ -24,6 +29,9 @@ __all__ = [
     "RefinementCounter",
     "SPQuadtreeBuilder",
     "choose_grid_order",
+    "available_workers",
+    "parallel_block_tables",
+    "resolve_workers",
     "update_index",
     "affected_sources",
     "diff_edges",

@@ -30,10 +30,12 @@ from repro.geometry.grid import GridEmbedding
 from repro.geometry.morton import block_cells
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.network.allpairs import materialize_sources
 from repro.network.errors import PathNotFound
 from repro.network.graph import SpatialNetwork
 from repro.quadtree.blocks import BlockTable
 from repro.silc.coloring import shortest_path_maps
+from repro.silc.parallel import parallel_block_tables, resolve_workers
 from repro.silc.intervals import DistanceInterval
 from repro.silc.refinement import RefinableDistance, RefinementCounter
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
@@ -80,25 +82,48 @@ class SILCIndex:
         chunk_size: int = 128,
         sources: Sequence[int] | None = None,
         progress: Callable[[int, int], None] | None = None,
+        workers: int | None = None,
     ) -> "SILCIndex":
         """Run the full SILC precompute for a network.
 
         ``sources`` restricts the build to a subset of vertices (used
-        by the localized-rebuild example); queries may then only start
-        from built vertices.  ``progress`` receives ``(done, total)``
-        after each source.
+        by the localized-rebuild example) and may be any iterable,
+        including a generator; queries may then only start from built
+        vertices.  ``progress`` receives ``(done, total)`` after each
+        source (after each chunk in parallel mode).  ``workers`` fans
+        the per-source builds across a process pool: ``None``/``1``
+        builds serially, ``0`` uses every available CPU, and any other
+        value is the pool size.  The parallel result is byte-identical
+        to the serial one.
         """
         network.require_strongly_connected()
         embedding, codes = choose_grid_order(network)
-        builder = SPQuadtreeBuilder(network, embedding, codes)
-        total = network.num_vertices if sources is None else len(list(sources))
+        source_list = materialize_sources(network, sources)
+        total = network.num_vertices if source_list is None else len(source_list)
         tables: list[BlockTable | None] = [None] * network.num_vertices
-        done = 0
-        for spm in shortest_path_maps(network, sources=sources, chunk_size=chunk_size):
-            tables[spm.source] = builder.build(spm.colors, spm.ratios)
-            done += 1
-            if progress is not None:
-                progress(done, total)
+        n_workers = resolve_workers(workers)
+        if n_workers > 1 and total > 1:
+            built = parallel_block_tables(
+                network,
+                embedding,
+                codes,
+                source_list,
+                workers=n_workers,
+                chunk_size=chunk_size,
+                progress=progress,
+            )
+            for source, table in built.items():
+                tables[source] = table
+        else:
+            builder = SPQuadtreeBuilder(network, embedding, codes)
+            done = 0
+            for spm in shortest_path_maps(
+                network, sources=source_list, chunk_size=chunk_size
+            ):
+                tables[spm.source] = builder.build(spm.colors, spm.ratios)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
         empty = BlockTable(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int8),

@@ -22,6 +22,7 @@ from repro.network.graph import SpatialNetwork
 from repro.quadtree.blocks import BlockTable
 from repro.silc.coloring import shortest_path_maps
 from repro.silc.index import SILCIndex
+from repro.silc.parallel import parallel_block_tables, resolve_workers
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
 
 #: Sentinel color for destinations beyond the horizon.
@@ -75,15 +76,32 @@ class ProximalSILCIndex(SILCIndex):
         network: SpatialNetwork,
         radius: float,
         chunk_size: int = 128,
+        workers: int | None = None,
     ) -> "ProximalSILCIndex":
         if radius <= 0:
             raise ValueError("radius must be positive")
         network.require_strongly_connected()
         embedding, codes = choose_grid_order(network)
-        builder = SPQuadtreeBuilder(network, embedding, codes)
         tables: list[BlockTable | None] = [None] * network.num_vertices
-        for spm in shortest_path_maps(network, chunk_size=chunk_size, limit=radius):
-            tables[spm.source] = builder.build(spm.colors, spm.ratios)
+        n_workers = resolve_workers(workers)
+        if n_workers > 1 and network.num_vertices > 1:
+            built = parallel_block_tables(
+                network,
+                embedding,
+                codes,
+                None,
+                workers=n_workers,
+                chunk_size=chunk_size,
+                limit=radius,
+            )
+            for source, table in built.items():
+                tables[source] = table
+        else:
+            builder = SPQuadtreeBuilder(network, embedding, codes)
+            for spm in shortest_path_maps(
+                network, chunk_size=chunk_size, limit=radius
+            ):
+                tables[spm.source] = builder.build(spm.colors, spm.ratios)
         return cls(network, embedding, codes, tables, radius)
 
     def _lookup(self, source: int, target: int) -> tuple[int, float, float]:

@@ -28,15 +28,25 @@ class TestResultQueue:
         q = _ResultQueue(QueryStats())
         q.add(0, 10.0)
         q.add(1, 20.0)
-        q.update(0, 10.0, 30.0)
+        q.update(0, 30.0)
         assert q.dk(1) == 20.0
         assert q.dk(2) == 30.0
+
+    def test_update_many_entries_moves_the_right_one(self):
+        q = _ResultQueue(QueryStats())
+        for oid, hi in enumerate([7.0, 3.0, 9.0, 5.0]):
+            q.add(oid, hi)
+        q.update(1, 8.0)  # 3.0 -> 8.0
+        assert q.dk(1) == 5.0
+        assert q.dk(3) == 8.0
+        assert q.dk(4) == 9.0
+        assert len(q.entries) == 4
 
     def test_operations_are_counted_and_timed(self):
         stats = QueryStats()
         q = _ResultQueue(stats)
         q.add(0, 1.0)
-        q.update(0, 1.0, 2.0)
+        q.update(0, 2.0)
         q.dk(1)
         assert stats.l_ops == 3
         assert stats.l_time >= 0.0

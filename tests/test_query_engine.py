@@ -1,0 +1,137 @@
+"""QueryEngine: batched queries must match per-query calls exactly."""
+
+import pytest
+
+from repro import QueryEngine
+from repro.geometry import Point
+from repro.query import VARIANTS, best_first_knn
+from repro.query.stats import QueryStats
+
+
+@pytest.fixture()
+def engine(small_index, small_object_index):
+    return QueryEngine(small_index, small_object_index)
+
+
+QUERIES = [0, 17, 42, 99, 149, 42]  # includes a repeat
+
+
+class TestKnnBatch:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_per_query_knn(self, engine, small_index, small_object_index, variant):
+        batch = engine.knn_batch(QUERIES, k=4, variant=variant)
+        assert len(batch) == len(QUERIES)
+        for q, result in zip(QUERIES, batch.results):
+            single = best_first_knn(
+                small_index, small_object_index, q, 4, variant=variant
+            )
+            assert result.ids() == single.ids()
+            assert result.ordered == single.ordered
+            assert [n.interval.lo for n in result.neighbors] == [
+                n.interval.lo for n in single.neighbors
+            ]
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_exact_matches_per_query(self, engine, small_index, small_object_index, variant):
+        batch = engine.knn_batch(QUERIES[:3], k=3, variant=variant, exact=True)
+        for q, result in zip(QUERIES, batch.results):
+            single = best_first_knn(
+                small_index, small_object_index, q, 3, variant=variant, exact=True
+            )
+            assert result.ids() == single.ids()
+            assert [n.distance for n in result.neighbors] == pytest.approx(
+                [n.distance for n in single.neighbors]
+            )
+
+    def test_aggregated_stats_sum_counters(self, engine):
+        batch = engine.knn_batch(QUERIES, k=4)
+        assert isinstance(batch.stats, QueryStats)
+        for counter in ("refinements", "queue_pushes", "objects_seen", "l_ops"):
+            assert getattr(batch.stats, counter) == sum(
+                getattr(r.stats, counter) for r in batch.results
+            )
+        assert batch.stats.elapsed == pytest.approx(
+            sum(r.stats.elapsed for r in batch.results)
+        )
+        assert batch.elapsed >= batch.stats.elapsed * 0.5
+
+    def test_empty_batch(self, engine):
+        batch = engine.knn_batch([], k=3)
+        assert len(batch) == 0
+        assert batch.stats.refinements == 0
+        assert batch.ids() == []
+
+    def test_unknown_variant_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.knn_batch([0], k=3, variant="bogus")
+
+    def test_batch_result_sequence_protocol(self, engine):
+        batch = engine.knn_batch(QUERIES[:2], k=2)
+        assert batch[0].ids() == batch.ids()[0]
+        assert [r.ids() for r in batch] == batch.ids()
+
+
+class TestLocationSharing:
+    def test_locations_cached_across_calls(self, engine):
+        engine.knn_batch([5, 5, 5], k=2)
+        assert 5 in engine._positions
+        pos = engine._positions[5]
+        engine.knn(5, k=2)
+        assert engine._positions[5] is pos
+
+    def test_point_queries_resolve(self, engine, small_net):
+        p = Point(float(small_net.xs[10]), float(small_net.ys[10]))
+        batch = engine.knn_batch([p, p], k=3)
+        single = engine.knn(10, k=3)
+        assert batch.results[0].ids() == single.ids()
+        assert p in engine._positions
+
+
+class TestStorageReuse:
+    def test_single_simulator_across_batch(self, small_index, small_object_index):
+        engine = QueryEngine(
+            small_index, small_object_index, cache_fraction=0.05
+        )
+        batch1 = engine.knn_batch(QUERIES, k=4)
+        accesses_1 = engine.storage.stats.accesses
+        assert batch1.stats.io_accesses == accesses_1
+        # The same simulator keeps serving the next batch: its page
+        # cache is warm, so the second identical batch misses less.
+        batch2 = engine.knn_batch(QUERIES, k=4)
+        assert engine.storage.stats.accesses == accesses_1 + batch2.stats.io_accesses
+        assert batch2.stats.io_misses <= batch1.stats.io_misses
+        # Results are unaffected by I/O accounting.
+        no_io = QueryEngine(small_index, small_object_index).knn_batch(
+            QUERIES, k=4
+        )
+        assert batch1.ids() == no_io.ids()
+
+    def test_detaches_after_batch(self, small_index, small_object_index):
+        engine = QueryEngine(
+            small_index, small_object_index, cache_fraction=0.05
+        )
+        engine.knn_batch(QUERIES[:2], k=2)
+        assert small_index.storage is None
+
+    def test_restores_caller_attached_simulator(self, small_index, small_object_index):
+        theirs = small_index.make_storage(cache_fraction=0.05)
+        small_index.attach_storage(theirs)
+        try:
+            engine = QueryEngine(
+                small_index, small_object_index, cache_fraction=0.05
+            )
+            engine.knn_batch(QUERIES[:2], k=2)
+            assert small_index.storage is theirs
+            engine.knn(0, k=2)
+            assert small_index.storage is theirs
+        finally:
+            small_index.detach_storage()
+
+    def test_storage_and_fraction_exclusive(self, small_index, small_object_index):
+        with pytest.raises(ValueError):
+            QueryEngine(
+                small_index,
+                small_object_index,
+                storage=small_index.make_storage(),
+                cache_fraction=0.05,
+            )
