@@ -9,7 +9,7 @@ interval one link at a time.
 Run:  python examples/quickstart.py
 """
 
-from repro import ObjectIndex, SILCIndex, knn, road_like_network
+from repro import ObjectIndex, QueryEngine, SILCIndex, knn, road_like_network
 from repro.datasets import random_vertex_objects
 
 
@@ -20,7 +20,10 @@ def main() -> None:
     print(f"network: {net.num_vertices} vertices, {net.num_edges} edges")
 
     # 2. The SILC precompute: one shortest-path quadtree per vertex.
-    index = SILCIndex.build(net)
+    #    workers=0 fans the per-source builds across every available
+    #    CPU (it resolves to the serial path on a single-CPU machine);
+    #    the output is identical to a serial build either way.
+    index = SILCIndex.build(net, workers=0)
     blocks = index.total_blocks()
     print(
         f"SILC index: {blocks} Morton blocks "
@@ -65,6 +68,18 @@ def main() -> None:
         step += 1
     exact = refinable.refine_fully()
     print(f"  ...fully refined: {exact:.3f} (exact)")
+
+    # 7. Serving many queries: one QueryEngine shares resolved
+    #    locations and a warm page cache across the whole batch and
+    #    aggregates the per-query stats.
+    engine = QueryEngine(index, object_index, cache_fraction=0.05)
+    batch = engine.knn_batch(range(0, 100, 5), k=3, variant="knn_m")
+    print(
+        f"\nbatch of {len(batch)} queries: "
+        f"{batch.stats.refinements} refinements, "
+        f"{batch.stats.io_misses} page faults, "
+        f"{batch.elapsed * 1e3:.1f} ms total"
+    )
 
 
 if __name__ == "__main__":
