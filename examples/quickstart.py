@@ -81,6 +81,11 @@ def main() -> None:
         f"{batch.elapsed * 1e3:.1f} ms total"
     )
 
+    # 8. To run this engine as a *service* -- asyncio front end,
+    #    per-client fair scheduling, admission control -- see
+    #    examples/serve_demo.py and the `python -m repro serve`
+    #    JSON-lines CLI.
+
 
 if __name__ == "__main__":
     main()

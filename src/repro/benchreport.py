@@ -1,0 +1,112 @@
+"""Build-time trajectory reports over ``benchmarks/results/build_times.txt``.
+
+Every fresh benchmark index build appends one line to that file (see
+:func:`bench_lib.record_build_time`)::
+
+    2026-07-29T14:30:10 n=3000 seed=42 workers=1 seconds=5.162
+
+This module parses the accumulated history and renders the
+per-configuration trajectory table behind the ``repro bench-report``
+CLI subcommand -- the ROADMAP's "track the precompute cost from PR to
+PR without re-running old revisions" item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+#: Default history file, anchored to the source tree (two levels above
+#: this module: src/repro/ -> repo root), so ``repro bench-report``
+#: finds it from any working directory.
+DEFAULT_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "results" / "build_times.txt"
+)
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """One appended build timing."""
+
+    stamp: str
+    n: int
+    seed: int
+    workers: int
+    seconds: float
+
+
+def parse_build_times(text: str) -> list[BuildRecord]:
+    """Parse the history file's lines, skipping blanks and comments.
+
+    Raises ``ValueError`` naming the offending line on malformed input
+    (a truncated write should be loud, not silently dropped).
+    """
+    records: list[BuildRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            stamp = parts[0]
+            fields = dict(p.split("=", 1) for p in parts[1:])
+            records.append(
+                BuildRecord(
+                    stamp=stamp,
+                    n=int(fields["n"]),
+                    seed=int(fields["seed"]),
+                    workers=int(fields["workers"]),
+                    seconds=float(fields["seconds"]),
+                )
+            )
+        except (IndexError, KeyError, ValueError) as exc:
+            raise ValueError(f"bad build-times line {lineno}: {line!r}") from exc
+    return records
+
+
+def format_report(records: list[BuildRecord]) -> str:
+    """The trajectory table: one row per (n, workers) configuration.
+
+    ``first``/``latest`` are in file order (the file is append-only,
+    so file order is trajectory order); ``best``/``median`` summarize
+    the whole history of that configuration.
+    """
+    if not records:
+        return "no build timings recorded yet"
+    groups: dict[tuple[int, int], list[BuildRecord]] = {}
+    for r in records:
+        groups.setdefault((r.n, r.workers), []).append(r)
+    header = ("n", "workers", "builds", "first_s", "latest_s", "best_s", "median_s")
+    rows = []
+    for (n, workers), rs in sorted(groups.items()):
+        secs = [r.seconds for r in rs]
+        rows.append(
+            (
+                str(n),
+                str(workers),
+                str(len(rs)),
+                f"{secs[0]:.3f}",
+                f"{secs[-1]:.3f}",
+                f"{min(secs):.3f}",
+                f"{median(secs):.3f}",
+            )
+        )
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    span = f"{records[0].stamp} .. {records[-1].stamp}"
+    lines.append(f"({len(records)} builds, {span})")
+    return "\n".join(lines)
+
+
+def report_file(path: str | Path) -> str:
+    """Parse + format one history file (the CLI entry point)."""
+    path = Path(path)
+    if not path.exists():
+        return f"no build-times history at {path}"
+    return format_report(parse_build_times(path.read_text()))

@@ -9,18 +9,25 @@ index, and answer queries from the shell::
     python -m repro stats net.txt index.npz
     python -m repro path net.txt index.npz 0 250
     python -m repro knn net.txt index.npz --query 0 --k 5 --objects 40
+    python -m repro serve net.txt index.npz --objects 40 < requests.jsonl
+    python -m repro bench-report
 
 ``build --workers`` fans the per-source precompute across a process
 pool (0 = one worker per CPU); ``knn`` accepts ``--query`` repeatedly
-and answers the whole batch through one :class:`~repro.engine.QueryEngine`.
+and answers the whole batch through one :class:`~repro.engine.QueryEngine`;
+``serve`` runs the asyncio serving layer as a stdin/stdout JSON-lines
+loop (one request object per line; see :mod:`repro.serve.protocol`).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
+from repro.benchreport import DEFAULT_PATH as BUILD_TIMES_PATH
+from repro.benchreport import report_file
 from repro.datasets import random_vertex_objects
 from repro.engine import QueryEngine
 from repro.network import (
@@ -123,6 +130,54 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        AdmissionController,
+        AsyncEngine,
+        FairScheduler,
+        SILCServer,
+        serve_jsonl,
+    )
+
+    net = load_text(args.network)
+    index = SILCIndex.load(args.index, net)
+    objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
+    object_index = ObjectIndex(net, objects, index.embedding)
+    engine = QueryEngine(
+        index,
+        object_index,
+        cache_fraction=args.cache_fraction,
+        max_locations=args.max_locations,
+    )
+
+    async def run() -> int:
+        async with AsyncEngine(engine) as async_engine:
+            server = SILCServer(
+                async_engine,
+                scheduler=FairScheduler(chunk_size=args.chunk_size),
+                admission=AdmissionController(
+                    max_in_flight=args.max_in_flight,
+                    rate=args.rate,
+                    burst=args.burst,
+                ),
+            )
+            in_stream = open(args.input) if args.input else sys.stdin
+            try:
+                snapshot = await serve_jsonl(server, in_stream, sys.stdout)
+            finally:
+                if args.input:
+                    in_stream.close()
+        print(snapshot.format(), file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    print(report_file(args.results))
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +238,43 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--objects", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_knn)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer JSON-lines requests through the async serving layer",
+    )
+    p.add_argument("network")
+    p.add_argument("index")
+    p.add_argument("--objects", type=int, default=25,
+                   help="random vertex objects to serve kNN over")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-fraction", type=float, default=0.05,
+                   help="warm LRU page cache as a fraction of index pages")
+    p.add_argument("--max-locations", type=int,
+                   default=QueryEngine.DEFAULT_MAX_LOCATIONS,
+                   help="bound on the resolved-location LRU cache")
+    p.add_argument("--chunk-size", type=int, default=32,
+                   help="queries per fair-scheduler chunk (batch split size)")
+    p.add_argument("--max-in-flight", type=int, default=1024,
+                   help="global cap on admitted-but-unfinished queries; "
+                   "requests past it are rejected with retry_after")
+    p.add_argument("--rate", type=float, default=None,
+                   help="per-client token-bucket rate (queries/second; "
+                   "omit for unlimited)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="per-client token-bucket burst (defaults to --rate)")
+    p.add_argument("--input", default=None,
+                   help="read requests from a file instead of stdin")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="print the build-time trajectory recorded by the benchmarks",
+    )
+    p.add_argument("results", nargs="?", default=str(BUILD_TIMES_PATH),
+                   help="path to build_times.txt "
+                   f"(default: {BUILD_TIMES_PATH})")
+    p.set_defaults(func=_cmd_bench_report)
 
     return parser
 

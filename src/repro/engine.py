@@ -25,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import reduce
 from time import perf_counter
@@ -84,7 +85,17 @@ class QueryEngine:
         Convenience alternative to ``storage``: build a simulator
         sized to this fraction of the index pages.  Mutually exclusive
         with ``storage``; omit both to run without I/O accounting.
+    max_locations:
+        Bound on the resolved-location cache (LRU eviction past it),
+        so a long-lived server's memory stays flat no matter how many
+        distinct query locations it sees.  ``None`` disables the
+        bound.  (:class:`repro.storage.lru.LRUCache` tracks page-id
+        *membership* only, so the value cache here keeps its own
+        ``OrderedDict`` recency order instead of reusing it.)
     """
+
+    #: Default bound on cached resolved locations.
+    DEFAULT_MAX_LOCATIONS = 4096
 
     def __init__(
         self,
@@ -92,21 +103,31 @@ class QueryEngine:
         object_index: ObjectIndex,
         storage: StorageSimulator | None = None,
         cache_fraction: float | None = None,
+        max_locations: int | None = DEFAULT_MAX_LOCATIONS,
     ) -> None:
         if storage is not None and cache_fraction is not None:
             raise ValueError("pass either storage or cache_fraction, not both")
         if cache_fraction is not None:
             storage = index.make_storage(cache_fraction=cache_fraction)
+        if max_locations is not None and max_locations < 1:
+            raise ValueError("max_locations must be at least 1 (or None)")
         self.index = index
         self.object_index = object_index
         self.storage = storage
-        self._positions: dict = {}
+        self.max_locations = max_locations
+        self._positions: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------
     # Locations
     # ------------------------------------------------------------------
     def resolve(self, query) -> NetworkPosition:
-        """Resolve a query location, caching hashable query forms."""
+        """Resolve a query location, caching hashable query forms.
+
+        The cache is LRU-bounded by ``max_locations``: the engine can
+        serve an unbounded stream of distinct locations at flat
+        memory, at the price of re-resolving ones evicted since their
+        last use.
+        """
         try:
             cached = self._positions.get(query)
         except TypeError:  # unhashable query form: resolve every time
@@ -114,6 +135,13 @@ class QueryEngine:
         if cached is None:
             cached = resolve_location(self.index.network, query)
             self._positions[query] = cached
+            if (
+                self.max_locations is not None
+                and len(self._positions) > self.max_locations
+            ):
+                self._positions.popitem(last=False)
+        else:
+            self._positions.move_to_end(query)
         return cached
 
     # ------------------------------------------------------------------
@@ -145,17 +173,21 @@ class QueryEngine:
         locations resolve once per distinct query, the storage
         simulator persists across the whole batch, and the per-query
         stats are additionally merged into ``BatchResult.stats``.
+
+        ``queries`` is consumed exactly once, so one-shot iterables
+        (generators, streaming readers) are answered in full -- the
+        same single-pass contract as :meth:`SILCIndex.build`.
         """
         if variant not in VARIANTS:
             raise ValueError(
                 f"unknown variant {variant!r}; expected one of {VARIANTS}"
             )
         t_start = perf_counter()
-        positions = [self.resolve(q) for q in queries]
         results: list[KNNResult] = []
         attached, previous = self._attach()
         try:
-            for position in positions:
+            for query in queries:
+                position = self.resolve(query)
                 results.append(
                     best_first_knn(
                         self.index, self.object_index, position, k,

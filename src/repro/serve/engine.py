@@ -1,0 +1,97 @@
+"""Awaitable facade over :class:`~repro.engine.QueryEngine`.
+
+``AsyncEngine`` gives the serving layer non-blocking access to the
+synchronous query engine: every call runs on a bounded
+``ThreadPoolExecutor`` so the asyncio event loop keeps accepting and
+scheduling requests while a query grinds through refinement steps.
+
+The wrapped engine's serving state stays *shared*: one warm
+:class:`~repro.storage.StorageSimulator` and one resolved-location
+cache across every task that awaits on the facade.  Because the
+engine's storage attach/restore protocol mutates ``index.storage``
+and is not safe to interleave from two threads, all engine calls are
+serialized through one lock -- the executor buys event-loop
+liveness, not CPU parallelism (which the GIL precludes for this
+pure-Python workload anyway).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from repro.engine import BatchResult, QueryEngine
+from repro.query.results import KNNResult
+
+
+class AsyncEngine:
+    """``await``-able kNN/path/distance queries over one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The synchronous engine whose caches and storage are shared.
+    max_workers:
+        Executor threads.  More than one only helps once query
+        execution releases the GIL; the default keeps one warm thread.
+    """
+
+    def __init__(self, engine: QueryEngine, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.engine = engine
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        # Serializes QueryEngine calls: the storage attach/restore
+        # handshake around each query must not interleave across
+        # threads, or one query's restore detaches another's simulator
+        # mid-flight.
+        self._lock = threading.Lock()
+        self._closed = False
+
+    async def _run(self, fn, *args, **kwargs):
+        if self._closed:
+            raise RuntimeError("AsyncEngine is closed")
+
+        def call():
+            with self._lock:
+                return fn(*args, **kwargs)
+
+        return await asyncio.get_running_loop().run_in_executor(self._executor, call)
+
+    # ------------------------------------------------------------------
+    # Queries (mirror QueryEngine's surface)
+    # ------------------------------------------------------------------
+    async def knn(self, query, k: int, variant: str = "knn", exact: bool = False) -> KNNResult:
+        return await self._run(self.engine.knn, query, k, variant=variant, exact=exact)
+
+    async def knn_batch(
+        self, queries: Iterable, k: int, variant: str = "knn", exact: bool = False
+    ) -> BatchResult:
+        return await self._run(
+            self.engine.knn_batch, queries, k, variant=variant, exact=exact
+        )
+
+    async def path(self, source: int, target: int) -> list[int]:
+        return await self._run(self.engine.index.path, source, target)
+
+    async def distance(self, source: int, target: int) -> float:
+        return await self._run(self.engine.index.distance, source, target)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the executor down; pending calls finish first."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()

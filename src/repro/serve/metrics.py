@@ -1,0 +1,133 @@
+"""Server-side observability: latency percentiles and work counters.
+
+:class:`ServerMetrics` accumulates per-response observations --
+wall-clock latency, counted scheduling delay (engine queries that ran
+ahead while the request waited; see
+:mod:`repro.serve.scheduler`), shed/expired/failed outcomes, and the
+merged :class:`~repro.query.stats.QueryStats` of everything executed
+-- and renders an immutable :class:`MetricsSnapshot` on demand.
+
+Per-request samples (latencies, delays) live in sliding windows of
+the most recent :data:`DEFAULT_WINDOW` observations, so a long-lived
+server's metrics memory stays flat; the scalar counters remain exact
+over the full lifetime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.query.stats import QueryStats
+
+#: Samples kept per sliding window (percentiles reflect recent load).
+DEFAULT_WINDOW = 4096
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of a sample."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One immutable reading of the server's counters."""
+
+    served: int
+    shed: int
+    expired: int
+    failed: int
+    p50: float
+    p95: float
+    p99: float
+    queue_depths: dict[str, int]
+    in_flight: int
+    stats: QueryStats
+
+    def format(self) -> str:
+        lines = [
+            f"served {self.served}  shed {self.shed}  expired {self.expired}  "
+            f"failed {self.failed}  in-flight {self.in_flight}",
+            f"latency p50 {self.p50 * 1e3:.2f} ms  p95 {self.p95 * 1e3:.2f} ms  "
+            f"p99 {self.p99 * 1e3:.2f} ms",
+            f"engine work: {self.stats.refinements} refinements, "
+            f"{self.stats.io_misses} page faults",
+        ]
+        if self.queue_depths:
+            depths = "  ".join(f"{c}={d}" for c, d in sorted(self.queue_depths.items()))
+            lines.append(f"queue depth: {depths}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ServerMetrics:
+    """Mutable accumulator the server feeds; snapshot() to read.
+
+    ``window`` bounds every per-request sample series (a deque of the
+    most recent observations), keeping a long-lived server's metrics
+    memory flat.
+    """
+
+    served: int = 0
+    shed: int = 0
+    expired: int = 0
+    failed: int = 0
+    window: int = DEFAULT_WINDOW
+    latencies: deque = field(default_factory=deque)
+    #: Counted scheduling delays per client (engine queries that ran
+    #: between a request's submit and its first dispatch).
+    sched_delays: dict = field(default_factory=dict)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be at least 1 sample")
+        self.latencies = deque(self.latencies, maxlen=self.window)
+
+    def record_completed(self, client: str, latency: float, sched_delay: int, stats: QueryStats | None = None) -> None:
+        self.served += 1
+        self.latencies.append(latency)
+        self.sched_delays.setdefault(
+            client, deque(maxlen=self.window)
+        ).append(sched_delay)
+        if stats is not None:
+            self.stats = self.stats.merge(stats)
+
+    def record_shed(self) -> None:
+        self.shed += 1
+
+    def record_expired(self) -> None:
+        self.expired += 1
+
+    def record_failed(self) -> None:
+        self.failed += 1
+
+    def delay_percentile(self, client: str, q: float) -> float:
+        """Percentile of one client's counted scheduling delays."""
+        return percentile([float(d) for d in self.sched_delays.get(client, [])], q)
+
+    def snapshot(self, queue_depths: dict[str, int] | None = None, in_flight: int = 0) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            served=self.served,
+            shed=self.shed,
+            expired=self.expired,
+            failed=self.failed,
+            p50=percentile(self.latencies, 50),
+            p95=percentile(self.latencies, 95),
+            p99=percentile(self.latencies, 99),
+            queue_depths=dict(queue_depths or {}),
+            in_flight=in_flight,
+            stats=self.stats,
+        )

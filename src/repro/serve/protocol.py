@@ -1,0 +1,186 @@
+"""Typed request/response protocol for the serving layer.
+
+The serving layer speaks a small, explicit vocabulary: four query
+kinds (``knn``, ``knn_batch``, ``path``, ``distance``), each carried
+by a :class:`Request` tagged with the submitting client and an
+optional deadline, and answered by exactly one of four responses --
+:class:`Completed`, :class:`Rejected` (admission control shed the
+request; retry after the indicated delay), :class:`Expired` (the
+deadline passed before the request reached the engine) or
+:class:`Failed` (the query raised).
+
+Every type round-trips through plain dicts (:func:`request_from_dict`
+/ :func:`response_to_dict`), which is what the ``repro serve``
+JSON-lines loop ships over stdin/stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The query kinds the server understands.
+KINDS = ("knn", "knn_batch", "path", "distance")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work submitted to the server.
+
+    Parameters
+    ----------
+    id:
+        Caller-chosen correlation id, echoed on the response.
+    client:
+        Lane key for fair scheduling and per-client rate limiting.
+    kind:
+        One of :data:`KINDS`.
+    queries:
+        Query locations: one vertex id for ``knn``, a tuple of them
+        for ``knn_batch``, and ``(source, target)`` for ``path`` and
+        ``distance``.
+    k / variant / exact:
+        Passed through to the kNN engine (ignored by path/distance).
+        ``exact`` defaults to True on both the dataclass and the wire
+        -- a serving client reading ``distances`` off the response
+        expects real network distances, not interval midpoints.
+    deadline:
+        Optional budget in seconds from submission; a request still
+        queued when it runs out is answered with :class:`Expired`
+        instead of being executed.
+    """
+
+    id: int | str
+    client: str
+    kind: str
+    queries: tuple = ()
+    k: int = 1
+    variant: str = "knn"
+    exact: bool = True
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind in ("path", "distance") and len(self.queries) != 2:
+            raise ValueError(f"{self.kind} requests need (source, target), got {self.queries!r}")
+        if self.kind in ("knn", "knn_batch") and not self.queries:
+            raise ValueError(f"{self.kind} requests need at least one query location")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be a positive budget in seconds")
+
+    @property
+    def cost(self) -> int:
+        """Admission/scheduling cost: the number of engine queries."""
+        if self.kind == "knn_batch":
+            return len(self.queries)
+        return 1
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base class: every response echoes the request id and client."""
+
+    id: int | str
+    client: str
+
+    status = "response"
+
+
+@dataclass(frozen=True)
+class Completed(Response):
+    """The request ran; ``result`` holds the kind-specific payload.
+
+    ``knn``: ``{"ids": [...], "distances": [...]}``;
+    ``knn_batch``: ``{"ids": [[...], ...], "distances": [[...], ...]}``;
+    ``path``: ``{"path": [...], "distance": float}``;
+    ``distance``: ``{"distance": float}``.
+    """
+
+    result: dict = field(default_factory=dict)
+    latency: float = 0.0
+    sched_delay: int = 0
+
+    status = "ok"
+
+
+@dataclass(frozen=True)
+class Rejected(Response):
+    """Admission control shed the request instead of queueing it."""
+
+    retry_after: float = 0.0
+    reason: str = "overloaded"
+
+    status = "rejected"
+
+
+@dataclass(frozen=True)
+class Expired(Response):
+    """The deadline passed while the request was still queued."""
+
+    waited: float = 0.0
+
+    status = "expired"
+
+
+@dataclass(frozen=True)
+class Failed(Response):
+    """The query raised; ``error`` carries the exception text."""
+
+    error: str = ""
+
+    status = "error"
+
+
+# ----------------------------------------------------------------------
+# Wire format (dicts; the CLI adds the JSON framing)
+# ----------------------------------------------------------------------
+
+def request_from_dict(obj: dict) -> Request:
+    """Build a :class:`Request` from one decoded JSON-lines record."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"request must be an object, got {type(obj).__name__}")
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        raise ValueError(f"unknown request kind {kind!r}; expected one of {KINDS}")
+    if kind in ("path", "distance"):
+        queries = (obj["source"], obj["target"])
+    elif kind == "knn_batch":
+        queries = tuple(obj["queries"])
+    else:
+        queries = (obj["query"],)
+    return Request(
+        id=obj.get("id", 0),
+        client=str(obj.get("client", "default")),
+        kind=kind,
+        queries=queries,
+        k=int(obj.get("k", 1)),
+        variant=obj.get("variant", "knn"),
+        exact=bool(obj.get("exact", True)),
+        deadline=obj.get("deadline"),
+    )
+
+
+def response_to_dict(response: Response) -> dict:
+    """Flatten any response to one JSON-serializable record."""
+    out: dict[str, Any] = {
+        "id": response.id,
+        "client": response.client,
+        "status": response.status,
+    }
+    if isinstance(response, Completed):
+        out.update(response.result)
+        out["latency"] = round(response.latency, 6)
+        # The counted scheduling delay (engine queries that ran while
+        # this request waited) -- the unit the fairness contract is
+        # measured in; scripted clients need it as much as in-process
+        # ones.
+        out["sched_delay"] = response.sched_delay
+    elif isinstance(response, Rejected):
+        out["retry_after"] = round(response.retry_after, 6)
+        out["reason"] = response.reason
+    elif isinstance(response, Expired):
+        out["waited"] = round(response.waited, 6)
+    elif isinstance(response, Failed):
+        out["error"] = response.error
+    return out

@@ -1,0 +1,303 @@
+"""The serving front end: admission -> fair scheduling -> execution.
+
+:class:`SILCServer` is the asyncio orchestrator that turns the
+synchronous :class:`~repro.engine.QueryEngine` into a service.  A
+request submitted with :meth:`SILCServer.submit` flows through
+
+1. the :class:`~repro.serve.admission.AdmissionController` -- over the
+   in-flight cap or the client's token bucket it is *shed now* with
+   :class:`~repro.serve.protocol.Rejected` (bounded queues, explicit
+   backpressure);
+2. the :class:`~repro.serve.scheduler.FairScheduler` -- batches are
+   split into chunks and lanes are served weighted round-robin, so a
+   bulk client cannot starve interactive ones;
+3. the dispatcher task, which pulls chunks in fair order, honours
+   per-request deadlines (:class:`~repro.serve.protocol.Expired`), and
+   executes on the :class:`~repro.serve.engine.AsyncEngine`.
+
+The caller simply awaits ``submit``; the response arrives when every
+chunk of the request has run (or the request was shed/expired/failed).
+:func:`serve_jsonl` wraps a server in the stdin/stdout JSON-lines
+loop behind the ``repro serve`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Callable, TextIO
+
+from repro.query.stats import QueryStats
+from repro.serve.admission import AdmissionController
+from repro.serve.engine import AsyncEngine
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.protocol import (
+    Completed,
+    Expired,
+    Failed,
+    Rejected,
+    Request,
+    Response,
+    request_from_dict,
+    response_to_dict,
+)
+from repro.serve.scheduler import Chunk, FairScheduler
+
+
+@dataclass
+class _Pending:
+    """Per-request assembly state while its chunks move through."""
+
+    request: Request
+    submitted: float
+    future: asyncio.Future
+    ids: list = field(default_factory=list)
+    distances: list = field(default_factory=list)
+    stats: list = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class SILCServer:
+    """Fairly scheduled, admission-controlled serving of one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`AsyncEngine` queries execute on.
+    scheduler / admission / metrics:
+        Injectable policy objects; defaults are a chunk-32 fair
+        scheduler, a 1024-query in-flight cap with no per-client rate
+        limit, and a fresh metrics accumulator.
+    clock:
+        Time source for deadlines and latency (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        engine: AsyncEngine,
+        scheduler: FairScheduler | None = None,
+        admission: AdmissionController | None = None,
+        metrics: ServerMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler if scheduler is not None else FairScheduler()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.clock = clock
+        self._cond: asyncio.Condition | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._stopping = False
+        # id(request) -> _Pending, for chunks to find their assembly state.
+        self._pending_by_request: dict = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._cond = asyncio.Condition()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Drain every queued chunk, then retire the dispatcher."""
+        if self._dispatcher is None:
+            return
+        self._stopping = True
+        async with self._cond:
+            self._cond.notify_all()
+        await self._dispatcher
+        self._dispatcher = None
+
+    async def __aenter__(self) -> "SILCServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> Response:
+        """Run one request through the full pipeline; await its response."""
+        if self._dispatcher is None:
+            raise RuntimeError("server not started (use `async with server:`)")
+        admitted, retry_after, reason = self.admission.admit(request)
+        if not admitted:
+            self.metrics.record_shed()
+            return Rejected(
+                id=request.id, client=request.client,
+                retry_after=retry_after, reason=reason,
+            )
+        pending = _Pending(
+            request=request,
+            submitted=self.clock(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        async with self._cond:
+            self.scheduler.submit(request)
+            self._pending_by_request[id(request)] = pending
+            self._cond.notify_all()
+        try:
+            return await pending.future
+        finally:
+            self._pending_by_request.pop(id(request), None)
+            # The response consumed the recorded delay (if any); drop it
+            # so a long-lived server's bookkeeping stays flat.
+            self.scheduler.sched_delays.pop(id(request), None)
+            if not pending.future.done() or pending.future.cancelled():
+                # The caller was cancelled while chunks were still
+                # queued: _finish will never run for this request, so
+                # return its admission budget here.  (Undispatched
+                # chunks are dropped by _execute once it sees the
+                # pending entry is gone.)
+                pending.future.cancel()
+                self.admission.release(request)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot(
+            queue_depths=self.scheduler.depths(),
+            in_flight=self.admission.in_flight,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            async with self._cond:
+                while not self._stopping and len(self.scheduler) == 0:
+                    await self._cond.wait()
+                chunk = self.scheduler.next_chunk()
+            if chunk is None:
+                if self._stopping:
+                    return
+                continue
+            await self._execute(chunk)
+
+    async def _execute(self, chunk: Chunk) -> None:
+        pending = self._pending_by_request.get(id(chunk.request))
+        if pending is None or pending.done:
+            # Request already expired/failed/cancelled: drop its tail,
+            # and with the final chunk drop its delay record too (it
+            # was written at first dispatch and has no reader left).
+            if chunk.last:
+                self.scheduler.sched_delays.pop(id(chunk.request), None)
+            return
+        request = chunk.request
+        now = self.clock()
+        waited = now - pending.submitted
+        if request.deadline is not None and waited > request.deadline:
+            self._finish(
+                pending,
+                Expired(id=request.id, client=request.client, waited=waited),
+            )
+            self.metrics.record_expired()
+            return
+        try:
+            if request.kind == "path":
+                source, target = chunk.queries
+                path = await self.engine.path(source, target)
+                distance = await self.engine.distance(source, target)
+                result = {"path": list(path), "distance": distance}
+            elif request.kind == "distance":
+                source, target = chunk.queries
+                result = {"distance": await self.engine.distance(source, target)}
+            elif request.kind == "knn":
+                r = await self.engine.knn(
+                    chunk.queries[0], request.k,
+                    variant=request.variant, exact=request.exact,
+                )
+                pending.stats.append(r.stats)
+                result = {"ids": r.ids(), "distances": r.distances()}
+            else:  # knn_batch chunk
+                batch = await self.engine.knn_batch(
+                    chunk.queries, request.k,
+                    variant=request.variant, exact=request.exact,
+                )
+                pending.ids.extend(batch.ids())
+                pending.distances.extend(r.distances() for r in batch.results)
+                pending.stats.append(batch.stats)
+                if not chunk.last:
+                    return  # more chunks of this batch still queued
+                result = {"ids": pending.ids, "distances": pending.distances}
+        except Exception as exc:  # noqa: BLE001 - queries surface as Failed
+            self.metrics.record_failed()
+            self._finish(
+                pending,
+                Failed(id=request.id, client=request.client, error=f"{type(exc).__name__}: {exc}"),
+            )
+            return
+        latency = self.clock() - pending.submitted
+        sched_delay = self.scheduler.sched_delay(request)
+        stats = reduce(QueryStats.merge, pending.stats, QueryStats())
+        self.metrics.record_completed(request.client, latency, sched_delay, stats)
+        self._finish(
+            pending,
+            Completed(
+                id=request.id, client=request.client,
+                result=result, latency=latency, sched_delay=sched_delay,
+            ),
+        )
+
+    def _finish(self, pending: _Pending, response: Response) -> None:
+        if not pending.done:
+            self.admission.release(pending.request)
+            pending.future.set_result(response)
+
+
+# ----------------------------------------------------------------------
+# The JSON-lines loop behind `repro serve`
+# ----------------------------------------------------------------------
+
+async def serve_jsonl(
+    server: SILCServer,
+    in_stream: TextIO,
+    out_stream: TextIO,
+) -> MetricsSnapshot:
+    """Read request records line by line, write responses as they finish.
+
+    One JSON object per input line (see
+    :func:`~repro.serve.protocol.request_from_dict` for the shape);
+    responses are written in *completion* order, each echoing the
+    request ``id``.  Reading happens on a worker thread so slow
+    producers never stall queries already in the pipeline.  Returns
+    the final metrics snapshot at EOF.
+    """
+    loop = asyncio.get_running_loop()
+
+    def emit(record: dict) -> None:
+        out_stream.write(json.dumps(record) + "\n")
+        out_stream.flush()
+
+    async def handle(request: Request) -> None:
+        response = await server.submit(request)
+        emit(response_to_dict(response))
+
+    async with server:
+        tasks: list[asyncio.Task] = []
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = request_from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                emit({"status": "error", "error": f"bad request: {exc}"})
+                continue
+            tasks.append(asyncio.create_task(handle(request)))
+        if tasks:
+            await asyncio.gather(*tasks)
+    return server.snapshot()

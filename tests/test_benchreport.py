@@ -1,0 +1,78 @@
+"""bench-report: parsing and rendering the build-time trajectory."""
+
+import pytest
+
+from repro.benchreport import (
+    BuildRecord,
+    format_report,
+    parse_build_times,
+    report_file,
+)
+from repro.cli import main
+
+FIXTURE = """\
+2026-07-01T10:00:00 n=1000 seed=42 workers=1 seconds=2.500
+2026-07-02T10:00:00 n=1000 seed=42 workers=1 seconds=2.000
+
+# a comment line
+2026-07-03T10:00:00 n=1000 seed=42 workers=1 seconds=1.000
+2026-07-03T11:00:00 n=3000 seed=42 workers=4 seconds=5.125
+"""
+
+
+class TestParse:
+    def test_parses_fields(self):
+        records = parse_build_times(FIXTURE)
+        assert len(records) == 4
+        assert records[0] == BuildRecord(
+            stamp="2026-07-01T10:00:00", n=1000, seed=42, workers=1, seconds=2.5
+        )
+        assert records[3].workers == 4
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert len(parse_build_times("\n# only a comment\n")) == 0
+
+    def test_malformed_line_is_loud(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_build_times("2026-07-01T10:00:00 n=notanint seed=1\n")
+
+
+class TestFormat:
+    def test_trajectory_columns(self):
+        text = format_report(parse_build_times(FIXTURE))
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "n", "workers", "builds", "first_s", "latest_s", "best_s", "median_s",
+        ]
+        row_1000 = next(l for l in lines if l.strip().startswith("1000"))
+        assert row_1000.split() == ["1000", "1", "3", "2.500", "1.000", "1.000", "2.000"]
+        assert "(4 builds, 2026-07-01T10:00:00 .. 2026-07-03T11:00:00)" in text
+
+    def test_empty_history(self):
+        assert "no build timings" in format_report([])
+
+
+class TestReportFile:
+    def test_reads_fixture_file(self, tmp_path):
+        path = tmp_path / "build_times.txt"
+        path.write_text(FIXTURE)
+        text = report_file(path)
+        assert "3000" in text and "5.125" in text
+
+    def test_missing_file_is_a_message_not_an_error(self, tmp_path):
+        text = report_file(tmp_path / "nope.txt")
+        assert "no build-times history" in text
+
+
+class TestCli:
+    def test_bench_report_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "build_times.txt"
+        path.write_text(FIXTURE)
+        assert main(["bench-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "median_s" in out
+        assert "5.125" in out
+
+    def test_bench_report_missing_file(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path / "absent.txt")]) == 0
+        assert "no build-times history" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -103,6 +105,68 @@ class TestKnn:
         assert cli_dists == pytest.approx(
             [n.distance for n in lib.neighbors], rel=1e-5
         )
+
+
+class TestServe:
+    def test_jsonl_loop_answers_requests(self, built, tmp_path, capsys):
+        net_path, idx_path = built
+        requests = [
+            {"id": 1, "client": "web", "kind": "knn", "query": 0, "k": 3},
+            {"id": 2, "client": "web", "kind": "distance", "source": 0, "target": 60},
+            {"id": 3, "client": "bulk", "kind": "knn_batch",
+             "queries": [4, 8, 15], "k": 2},
+        ]
+        infile = tmp_path / "requests.jsonl"
+        infile.write_text("\n".join(json.dumps(r) for r in requests) + "\n")
+        rc = main([
+            "serve", str(net_path), str(idx_path),
+            "--objects", "20", "--input", str(infile),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        records = [json.loads(l) for l in captured.out.splitlines()]
+        by_id = {r["id"]: r for r in records}
+        assert set(by_id) == {1, 2, 3}
+        assert all(r["status"] == "ok" for r in records)
+        assert len(by_id[1]["ids"]) == 3
+        assert by_id[2]["distance"] > 0
+        assert len(by_id[3]["ids"]) == 3  # one id list per batch query
+        assert "latency p50" in captured.err  # metrics snapshot on stderr
+
+    def test_serve_matches_knn_subcommand(self, built, tmp_path, capsys):
+        net_path, idx_path = built
+        infile = tmp_path / "requests.jsonl"
+        infile.write_text(
+            json.dumps({"id": 9, "kind": "knn", "query": 5, "k": 3}) + "\n"
+        )
+        main(["serve", str(net_path), str(idx_path),
+              "--objects", "20", "--seed", "1", "--input", str(infile)])
+        served = json.loads(capsys.readouterr().out.splitlines()[0])
+        main(["knn", str(net_path), str(idx_path),
+              "--query", "5", "--k", "3", "--objects", "20", "--seed", "1"])
+        cli_dists = [
+            float(l.split("distance")[1])
+            for l in capsys.readouterr().out.splitlines() if l.startswith("#")
+        ]
+        assert served["distances"] == pytest.approx(cli_dists, rel=1e-5)
+
+    def test_rejects_past_in_flight_cap(self, built, tmp_path, capsys):
+        net_path, idx_path = built
+        infile = tmp_path / "requests.jsonl"
+        infile.write_text(
+            json.dumps({"id": 1, "kind": "knn_batch",
+                        "queries": list(range(20)), "k": 2}) + "\n"
+        )
+        rc = main([
+            "serve", str(net_path), str(idx_path),
+            "--objects", "20", "--max-in-flight", "5", "--input", str(infile),
+        ])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["status"] == "rejected"
+        # 20 queries can never fit under a cap of 5: terminal rejection
+        assert record["reason"] == "request_too_large"
+        assert record["retry_after"] == 0
 
 
 class TestParser:

@@ -87,6 +87,94 @@ class TestLocationSharing:
         assert p in engine._positions
 
 
+class TestGeneratorQueries:
+    def test_generator_batch_matches_list_batch(self, engine):
+        """Regression: one-shot iterables must be consumed exactly once."""
+        from_list = engine.knn_batch(QUERIES, k=3)
+        from_gen = engine.knn_batch((q for q in QUERIES), k=3)
+        assert len(from_gen) == len(QUERIES)
+        assert from_gen.ids() == from_list.ids()
+
+    def test_queries_iterated_exactly_once(self, engine):
+        pulls = []
+
+        def gen():
+            for q in QUERIES:
+                pulls.append(q)
+                yield q
+
+        batch = engine.knn_batch(gen(), k=2)
+        assert pulls == QUERIES
+        assert len(batch) == len(QUERIES)
+
+    def test_invalid_variant_rejected_before_consuming(self, engine):
+        gen = (q for q in QUERIES)
+        with pytest.raises(ValueError):
+            engine.knn_batch(gen, k=2, variant="bogus")
+        assert list(gen) == QUERIES  # untouched, still usable
+
+
+class TestBoundedLocationCache:
+    def test_cache_never_exceeds_bound(self, small_index, small_object_index):
+        engine = QueryEngine(small_index, small_object_index, max_locations=4)
+        engine.knn_batch(range(20), k=2)
+        assert len(engine._positions) == 4
+
+    def test_lru_eviction_order(self, small_index, small_object_index):
+        engine = QueryEngine(small_index, small_object_index, max_locations=3)
+        engine.knn_batch([0, 1, 2], k=2)
+        engine.knn(0, k=2)  # refresh 0: now 1 is the eviction victim
+        engine.knn(3, k=2)
+        assert set(engine._positions) == {0, 2, 3}
+
+    def test_unbounded_when_none(self, small_index, small_object_index):
+        engine = QueryEngine(small_index, small_object_index, max_locations=None)
+        engine.knn_batch(range(50), k=2)
+        assert len(engine._positions) == 50
+
+    def test_bound_validated(self, small_index, small_object_index):
+        with pytest.raises(ValueError):
+            QueryEngine(small_index, small_object_index, max_locations=0)
+
+    def test_evicted_location_still_answers_correctly(self, small_index, small_object_index):
+        bounded = QueryEngine(small_index, small_object_index, max_locations=2)
+        unbounded = QueryEngine(small_index, small_object_index)
+        bounded.knn_batch(range(10), k=3)
+        assert bounded.knn(0, k=3).ids() == unbounded.knn(0, k=3).ids()
+
+
+class TestMidBatchFailure:
+    """Satellite: the simulator must be restored when a query raises."""
+
+    def test_storage_detached_after_mid_batch_error(self, small_index, small_object_index):
+        engine = QueryEngine(small_index, small_object_index, cache_fraction=0.05)
+        with pytest.raises(Exception):
+            engine.knn_batch([0, 1, 10**9, 2], k=2)
+        assert small_index.storage is None
+
+    def test_caller_simulator_restored_after_error(self, small_index, small_object_index):
+        theirs = small_index.make_storage(cache_fraction=0.05)
+        small_index.attach_storage(theirs)
+        try:
+            engine = QueryEngine(small_index, small_object_index, cache_fraction=0.05)
+            with pytest.raises(Exception):
+                engine.knn_batch([0, 10**9], k=2)
+            assert small_index.storage is theirs
+            with pytest.raises(Exception):
+                engine.knn(10**9, k=2)
+            assert small_index.storage is theirs
+        finally:
+            small_index.detach_storage()
+
+    def test_engine_still_serves_after_error(self, small_index, small_object_index):
+        engine = QueryEngine(small_index, small_object_index, cache_fraction=0.05)
+        with pytest.raises(Exception):
+            engine.knn_batch([0, 10**9], k=2)
+        batch = engine.knn_batch([0, 5], k=2)
+        assert len(batch) == 2
+        assert small_index.storage is None
+
+
 class TestStorageReuse:
     def test_single_simulator_across_batch(self, small_index, small_object_index):
         engine = QueryEngine(

@@ -1,0 +1,104 @@
+"""Request/response protocol: validation and wire round-trips."""
+
+import pytest
+
+from repro.serve import (
+    KINDS,
+    Completed,
+    Expired,
+    Failed,
+    Rejected,
+    Request,
+    request_from_dict,
+    response_to_dict,
+)
+
+
+class TestRequestValidation:
+    def test_kinds_are_the_documented_four(self):
+        assert KINDS == ("knn", "knn_batch", "path", "distance")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            Request(id=1, client="a", kind="bogus", queries=(0,))
+
+    def test_path_needs_source_and_target(self):
+        with pytest.raises(ValueError, match="source, target"):
+            Request(id=1, client="a", kind="path", queries=(0,))
+
+    def test_knn_needs_a_query(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            Request(id=1, client="a", kind="knn", queries=())
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Request(id=1, client="a", kind="knn", queries=(0,), deadline=0.0)
+
+    def test_cost_counts_engine_queries(self):
+        assert Request(id=1, client="a", kind="knn", queries=(7,)).cost == 1
+        assert Request(id=1, client="a", kind="knn_batch", queries=(1, 2, 3)).cost == 3
+        assert Request(id=1, client="a", kind="path", queries=(0, 9)).cost == 1
+        assert Request(id=1, client="a", kind="distance", queries=(0, 9)).cost == 1
+
+
+class TestWireFormat:
+    def test_knn_round_trip(self):
+        req = request_from_dict(
+            {"id": 7, "client": "web", "kind": "knn", "query": 3, "k": 4,
+             "variant": "knn_m", "exact": False, "deadline": 1.5}
+        )
+        assert req.queries == (3,)
+        assert req.k == 4
+        assert req.variant == "knn_m"
+        assert req.exact is False
+        assert req.deadline == 1.5
+
+    def test_batch_and_pair_kinds(self):
+        batch = request_from_dict(
+            {"kind": "knn_batch", "queries": [1, 2, 3], "k": 2}
+        )
+        assert batch.queries == (1, 2, 3)
+        pair = request_from_dict({"kind": "path", "source": 0, "target": 9})
+        assert pair.queries == (0, 9)
+
+    def test_defaults(self):
+        req = request_from_dict({"kind": "knn", "query": 0})
+        assert req.client == "default"
+        assert req.k == 1
+        assert req.exact is True
+        assert req.deadline is None
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            request_from_dict([1, 2, 3])
+
+    def test_unknown_kind_in_wire_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            request_from_dict({"kind": "teleport", "query": 0})
+
+    @pytest.mark.parametrize(
+        "response,expected",
+        [
+            (
+                Completed(id=1, client="a", result={"ids": [3]}, latency=0.25,
+                          sched_delay=7),
+                {"id": 1, "client": "a", "status": "ok", "ids": [3],
+                 "latency": 0.25, "sched_delay": 7},
+            ),
+            (
+                Rejected(id=2, client="b", retry_after=0.5, reason="rate_limited"),
+                {"id": 2, "client": "b", "status": "rejected",
+                 "retry_after": 0.5, "reason": "rate_limited"},
+            ),
+            (
+                Expired(id=3, client="c", waited=2.0),
+                {"id": 3, "client": "c", "status": "expired", "waited": 2.0},
+            ),
+            (
+                Failed(id=4, client="d", error="boom"),
+                {"id": 4, "client": "d", "status": "error", "error": "boom"},
+            ),
+        ],
+    )
+    def test_response_records(self, response, expected):
+        assert response_to_dict(response) == expected

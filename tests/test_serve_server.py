@@ -1,0 +1,278 @@
+"""AsyncEngine and SILCServer: the serving pipeline end to end.
+
+Async tests drive their own event loop with ``asyncio.run`` so the
+suite has no plugin dependency.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.query import best_first_knn
+from repro.serve import (
+    AdmissionController,
+    AsyncEngine,
+    FairScheduler,
+    Request,
+    SILCServer,
+    serve_jsonl,
+)
+
+
+@pytest.fixture()
+def engine(small_index, small_object_index):
+    return QueryEngine(small_index, small_object_index, cache_fraction=0.05)
+
+
+def knn_req(query, client="web", rid=0, k=3, deadline=None):
+    # exact=False: these tests compare against library calls that use
+    # the engine's non-exact default.
+    return Request(id=rid, client=client, kind="knn", queries=(query,), k=k,
+                   exact=False, deadline=deadline)
+
+
+def batch_req(queries, client="bulk", rid=0, k=2):
+    return Request(id=rid, client=client, kind="knn_batch",
+                   queries=tuple(queries), k=k, exact=False)
+
+
+class TestAsyncEngine:
+    def test_matches_sync_engine(self, engine, small_index, small_object_index):
+        async def go():
+            async with AsyncEngine(engine) as ae:
+                return (
+                    await ae.knn(0, 4),
+                    await ae.knn_batch([5, 9, 13], 2),
+                    await ae.path(0, 140),
+                    await ae.distance(0, 140),
+                )
+
+        result, batch, path, dist = asyncio.run(go())
+        expected = best_first_knn(small_index, small_object_index, 0, 4)
+        assert result.ids() == expected.ids()
+        assert batch.ids() == QueryEngine(
+            small_index, small_object_index
+        ).knn_batch([5, 9, 13], 2).ids()
+        assert path == small_index.path(0, 140)
+        assert dist == pytest.approx(small_index.distance(0, 140))
+
+    def test_many_concurrent_tasks(self, engine, small_index):
+        """Satellite: concurrent use from many tasks is safe and exact."""
+        queries = [(q, 1 + q % 4) for q in range(0, 120, 3)]
+
+        async def go():
+            async with AsyncEngine(engine, max_workers=4) as ae:
+                return await asyncio.gather(
+                    *(ae.knn(q, k, exact=True) for q, k in queries)
+                )
+
+        results = asyncio.run(go())
+        reference = QueryEngine(engine.index, engine.object_index)
+        for (q, k), result in zip(queries, results):
+            assert result.ids() == reference.knn(q, k, exact=True).ids()
+        # the shared simulator was restored after every call
+        assert small_index.storage is None
+        assert engine.storage.stats.accesses > 0
+
+    def test_closed_engine_rejects_calls(self, engine):
+        async def go():
+            ae = AsyncEngine(engine)
+            ae.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await ae.knn(0, 2)
+
+        asyncio.run(go())
+
+    def test_validates_workers(self, engine):
+        with pytest.raises(ValueError):
+            AsyncEngine(engine, max_workers=0)
+
+
+def serve(requests, engine, **server_kwargs):
+    """Run a request list through a fresh server; responses in order."""
+
+    async def go():
+        async with AsyncEngine(engine) as ae:
+            server = SILCServer(ae, **server_kwargs)
+            async with server:
+                responses = await asyncio.gather(
+                    *(server.submit(r) for r in requests)
+                )
+            return responses, server.snapshot()
+
+    return asyncio.run(go())
+
+
+class TestSILCServer:
+    def test_knn_matches_library(self, engine, small_index, small_object_index):
+        [resp], _ = serve([knn_req(7, rid=42)], engine)
+        assert resp.status == "ok"
+        assert resp.id == 42
+        expected = best_first_knn(small_index, small_object_index, 7, 3)
+        assert resp.result["ids"] == expected.ids()
+
+    def test_batch_reassembled_across_chunks(self, engine, small_index, small_object_index):
+        queries = list(range(0, 40))
+        [resp], snapshot = serve(
+            [batch_req(queries, rid=1)],
+            engine,
+            scheduler=FairScheduler(chunk_size=8),
+        )
+        assert resp.status == "ok"
+        expected = QueryEngine(small_index, small_object_index).knn_batch(queries, 2)
+        assert resp.result["ids"] == expected.ids()
+        assert len(resp.result["distances"]) == len(queries)
+        assert snapshot.served == 1
+        assert snapshot.stats.refinements == expected.stats.refinements
+
+    def test_path_and_distance_kinds(self, engine, small_index):
+        responses, _ = serve(
+            [
+                Request(id=1, client="a", kind="path", queries=(0, 99)),
+                Request(id=2, client="a", kind="distance", queries=(0, 99)),
+            ],
+            engine,
+        )
+        assert responses[0].result["path"] == small_index.path(0, 99)
+        assert responses[1].result["distance"] == pytest.approx(
+            small_index.distance(0, 99)
+        )
+
+    def test_never_fitting_request_rejected_as_too_large(self, engine):
+        [resp], snapshot = serve(
+            [batch_req(range(50), rid=9)],
+            engine,
+            admission=AdmissionController(max_in_flight=10),
+        )
+        assert resp.status == "rejected"
+        assert resp.reason == "request_too_large"  # terminal: don't retry
+        assert resp.retry_after == 0
+        assert snapshot.shed == 1 and snapshot.served == 0
+
+    def test_transient_overload_rejected_with_retry_after(self, engine):
+        # each request fits alone, but not both at once
+        responses, snapshot = serve(
+            [batch_req(range(8), rid=1), batch_req(range(8), rid=2)],
+            engine,
+            admission=AdmissionController(max_in_flight=10),
+        )
+        statuses = sorted(r.status for r in responses)
+        assert statuses == ["ok", "rejected"]
+        [rejected] = [r for r in responses if r.status == "rejected"]
+        assert rejected.reason == "in_flight_cap"
+        assert rejected.retry_after > 0
+        assert snapshot.shed == 1 and snapshot.served == 1
+
+    def test_cancelled_submit_releases_admission_budget(self, engine):
+        """A caller timeout must not leak in-flight budget forever."""
+
+        async def go():
+            async with AsyncEngine(engine) as ae:
+                server = SILCServer(
+                    ae,
+                    scheduler=FairScheduler(chunk_size=2),
+                    admission=AdmissionController(max_in_flight=10),
+                )
+                async with server:
+                    task = asyncio.create_task(
+                        server.submit(batch_req(range(10), rid=1))
+                    )
+                    await asyncio.sleep(0)  # admitted, chunks queued
+                    assert server.admission.in_flight == 10
+                    task.cancel()
+                    with pytest.raises(asyncio.CancelledError):
+                        await task
+                    assert server.admission.in_flight == 0
+                    # the server still serves new work afterwards
+                    response = await server.submit(knn_req(0, rid=2))
+                    assert response.status == "ok"
+                    assert not server.scheduler.sched_delays  # no leak
+                return server.snapshot()
+
+        snapshot = asyncio.run(go())
+        assert snapshot.in_flight == 0
+
+    def test_queued_deadline_expires(self, engine):
+        ticks = iter(range(1000))
+
+        def clock():  # one full second per observation: everything is late
+            return float(next(ticks))
+
+        responses, snapshot = serve(
+            [knn_req(0, rid=1, deadline=0.5), knn_req(5, rid=2)],
+            engine,
+            clock=clock,
+        )
+        assert responses[0].status == "expired"
+        assert responses[0].waited > 0.5
+        assert responses[1].status == "ok"
+        assert snapshot.expired == 1 and snapshot.served == 1
+
+    def test_query_error_surfaces_as_failed(self, engine):
+        bad = knn_req(10**9, rid=3)  # vertex far out of range
+        [resp], snapshot = serve([bad], engine)
+        assert resp.status == "error"
+        assert "1000000000" in resp.error
+        assert snapshot.failed == 1
+
+    def test_failed_batch_drops_remaining_chunks(self, engine):
+        queries = [10**9] + list(range(30))  # first chunk raises
+        [resp], snapshot = serve(
+            [batch_req(queries, rid=4)],
+            engine,
+            scheduler=FairScheduler(chunk_size=4),
+        )
+        assert resp.status == "error"
+        assert snapshot.failed == 1 and snapshot.served == 0
+        # the admitted cost was released exactly once
+        assert snapshot.in_flight == 0
+
+    def test_admission_released_after_completion(self, engine):
+        requests = [knn_req(q, rid=q) for q in range(6)]
+        responses, snapshot = serve(
+            requests, engine, admission=AdmissionController(max_in_flight=1024)
+        )
+        assert all(r.status == "ok" for r in responses)
+        assert snapshot.in_flight == 0
+        assert snapshot.p95 >= snapshot.p50 >= 0
+
+    def test_submit_requires_started_server(self, engine):
+        async def go():
+            async with AsyncEngine(engine) as ae:
+                server = SILCServer(ae)
+                with pytest.raises(RuntimeError, match="not started"):
+                    await server.submit(knn_req(0))
+
+        asyncio.run(go())
+
+
+class TestServeJsonl:
+    def test_round_trip(self, engine, small_index, small_object_index):
+        lines = [
+            {"id": 1, "client": "a", "kind": "knn", "query": 0, "k": 2},
+            {"id": 2, "client": "b", "kind": "distance", "source": 0, "target": 90},
+            {"kind": "nope"},
+            {"id": 3, "client": "b", "kind": "knn_batch", "queries": [1, 2], "k": 1},
+        ]
+        in_stream = io.StringIO("\n".join(json.dumps(l) for l in lines) + "\n# comment\n\n")
+        out_stream = io.StringIO()
+
+        async def go():
+            async with AsyncEngine(engine) as ae:
+                return await serve_jsonl(SILCServer(ae), in_stream, out_stream)
+
+        snapshot = asyncio.run(go())
+        records = [json.loads(l) for l in out_stream.getvalue().splitlines()]
+        by_id = {r["id"]: r for r in records if "id" in r}
+        assert by_id[1]["status"] == "ok"
+        assert by_id[1]["ids"] == best_first_knn(
+            small_index, small_object_index, 0, 2, exact=True
+        ).ids()
+        assert by_id[2]["distance"] == pytest.approx(small_index.distance(0, 90))
+        assert by_id[3]["status"] == "ok"
+        [bad] = [r for r in records if r["status"] == "error"]
+        assert "bad request" in bad["error"]
+        assert snapshot.served == 3
