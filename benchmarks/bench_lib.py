@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import ObjectIndex, SILCIndex, road_like_network
+from repro.benchreport import append_build_time
 from repro.datasets import random_vertex_objects
 from repro.silc import available_workers
 from repro.storage import NetworkStorageModel
@@ -46,30 +47,38 @@ def cached_network(n: int, seed: int = BENCH_SEED):
     return road_like_network(n, seed=seed)
 
 
+#: Sources per shortest-path batch for every benchmark index build.
+#: With the shared-memory transport, chunk results no longer pay a
+#: per-chunk pickle of their columns, so larger chunks are pure win
+#: until worker load-balance suffers.
+BENCH_CHUNK_SIZE = 256
+
+
 @functools.lru_cache(maxsize=4)
 def cached_index(n: int, seed: int = BENCH_SEED, workers: int = BENCH_WORKERS):
     t0 = time.perf_counter()
     index = SILCIndex.build(
-        cached_network(n, seed), chunk_size=256, workers=workers
+        cached_network(n, seed), chunk_size=BENCH_CHUNK_SIZE, workers=workers
     )
-    record_build_time(n, seed, workers, time.perf_counter() - t0)
+    record_build_time(
+        n, seed, workers, BENCH_CHUNK_SIZE, time.perf_counter() - t0
+    )
     return index
 
 
-def record_build_time(n: int, seed: int, workers: int, seconds: float) -> None:
+def record_build_time(
+    n: int, seed: int, workers: int, chunk_size: int, seconds: float
+) -> None:
     """Append one build timing to ``results/build_times.txt``.
 
     The file accumulates across runs (one line per fresh build), so
     the precompute-cost trajectory of the repo can be tracked from PR
     to PR without re-running old revisions.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-    with (RESULTS_DIR / "build_times.txt").open("a") as f:
-        f.write(
-            f"{stamp} n={n} seed={seed} workers={workers} "
-            f"seconds={seconds:.3f}\n"
-        )
+    append_build_time(
+        n, seed, workers, chunk_size, seconds,
+        path=RESULTS_DIR / "build_times.txt",
+    )
 
 
 def make_objects(net, index, density, seed=BENCH_SEED):

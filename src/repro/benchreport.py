@@ -1,18 +1,20 @@
 """Build-time trajectory reports over ``benchmarks/results/build_times.txt``.
 
 Every fresh benchmark index build appends one line to that file (see
-:func:`bench_lib.record_build_time`)::
+:func:`append_build_time`)::
 
-    2026-07-29T14:30:10 n=3000 seed=42 workers=1 seconds=5.162
+    2026-07-29T14:30:10 n=3000 seed=42 workers=1 chunk_size=256 seconds=5.162
 
-This module parses the accumulated history and renders the
-per-configuration trajectory table behind the ``repro bench-report``
-CLI subcommand -- the ROADMAP's "track the precompute cost from PR to
-PR without re-running old revisions" item.
+Older lines predate the ``chunk_size`` field and parse with
+``chunk_size=None``.  This module parses the accumulated history and
+renders the per-configuration trajectory table behind the
+``repro bench-report`` CLI subcommand -- the ROADMAP's "track the
+precompute cost from PR to PR without re-running old revisions" item.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from statistics import median
@@ -34,6 +36,31 @@ class BuildRecord:
     seed: int
     workers: int
     seconds: float
+    chunk_size: int | None = None
+
+
+def append_build_time(
+    n: int,
+    seed: int,
+    workers: int,
+    chunk_size: int,
+    seconds: float,
+    path: str | Path = DEFAULT_PATH,
+) -> None:
+    """Append one build timing line to the (append-only) history file.
+
+    Shared by the benchmark fixtures and ``repro build --record``, so
+    the trajectory accumulates from both suites and operational builds
+    without re-running old revisions.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    with path.open("a") as f:
+        f.write(
+            f"{stamp} n={n} seed={seed} workers={workers} "
+            f"chunk_size={chunk_size} seconds={seconds:.3f}\n"
+        )
 
 
 def parse_build_times(text: str) -> list[BuildRecord]:
@@ -51,6 +78,7 @@ def parse_build_times(text: str) -> list[BuildRecord]:
         try:
             stamp = parts[0]
             fields = dict(p.split("=", 1) for p in parts[1:])
+            chunk = fields.get("chunk_size")
             records.append(
                 BuildRecord(
                     stamp=stamp,
@@ -58,6 +86,7 @@ def parse_build_times(text: str) -> list[BuildRecord]:
                     seed=int(fields["seed"]),
                     workers=int(fields["workers"]),
                     seconds=float(fields["seconds"]),
+                    chunk_size=None if chunk is None else int(chunk),
                 )
             )
         except (IndexError, KeyError, ValueError) as exc:
@@ -66,25 +95,30 @@ def parse_build_times(text: str) -> list[BuildRecord]:
 
 
 def format_report(records: list[BuildRecord]) -> str:
-    """The trajectory table: one row per (n, workers) configuration.
+    """The trajectory table: one row per (n, workers, chunk) config.
 
     ``first``/``latest`` are in file order (the file is append-only,
     so file order is trajectory order); ``best``/``median`` summarize
-    the whole history of that configuration.
+    the whole history of that configuration.  Pre-``chunk_size`` lines
+    render a ``-`` in that column.
     """
     if not records:
         return "no build timings recorded yet"
-    groups: dict[tuple[int, int], list[BuildRecord]] = {}
+    groups: dict[tuple[int, int, int], list[BuildRecord]] = {}
     for r in records:
-        groups.setdefault((r.n, r.workers), []).append(r)
-    header = ("n", "workers", "builds", "first_s", "latest_s", "best_s", "median_s")
+        key = (r.n, r.workers, -1 if r.chunk_size is None else r.chunk_size)
+        groups.setdefault(key, []).append(r)
+    header = (
+        "n", "workers", "chunk", "builds", "first_s", "latest_s", "best_s", "median_s",
+    )
     rows = []
-    for (n, workers), rs in sorted(groups.items()):
+    for (n, workers, chunk), rs in sorted(groups.items()):
         secs = [r.seconds for r in rs]
         rows.append(
             (
                 str(n),
                 str(workers),
+                "-" if chunk < 0 else str(chunk),
                 str(len(rs)),
                 f"{secs[0]:.3f}",
                 f"{secs[-1]:.3f}",

@@ -13,10 +13,15 @@ index, and answer queries from the shell::
     python -m repro bench-report
 
 ``build --workers`` fans the per-source precompute across a process
-pool (0 = one worker per CPU); ``knn`` accepts ``--query`` repeatedly
-and answers the whole batch through one :class:`~repro.engine.QueryEngine`;
+pool (0 = one worker per CPU; chunk results travel through shared
+memory, not pickle); ``knn`` accepts ``--query`` repeatedly and
+answers the whole batch through one :class:`~repro.engine.QueryEngine`;
 ``serve`` runs the asyncio serving layer as a stdin/stdout JSON-lines
 loop (one request object per line; see :mod:`repro.serve.protocol`).
+
+Index paths ending in ``.npz`` use the compressed archive layout; any
+other path is a *directory* of raw ``.npy`` columns, which the query
+commands can open zero-copy with ``--mmap``.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import sys
 import time
 
 from repro.benchreport import DEFAULT_PATH as BUILD_TIMES_PATH
-from repro.benchreport import report_file
+from repro.benchreport import append_build_time, report_file
 from repro.datasets import random_vertex_objects
 from repro.engine import QueryEngine
 from repro.network import (
@@ -73,19 +78,39 @@ def _cmd_build(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         progress=progress,
         workers=args.workers,
+        transport=args.transport,
     )
-    index.save(args.index)
     dt = time.perf_counter() - t0
+    t_save = time.perf_counter()
+    index.save(args.index)
+    t_save = time.perf_counter() - t_save
     print(
-        f"built SILC index in {dt:.1f}s: {index.total_blocks()} Morton "
-        f"blocks ({index.storage_bytes() / 1024:.0f} KiB) -> {args.index}"
+        f"built SILC index in {dt:.1f}s (+{t_save:.1f}s save): "
+        f"{index.total_blocks()} Morton blocks "
+        f"({index.storage_bytes() / 1024:.0f} KiB) -> {args.index}"
     )
+    from repro.silc import parallel as _parallel
+
+    stats = _parallel.last_build_stats
+    if stats is not None and stats.chunks:
+        print(
+            f"  transport={stats.transport}: "
+            f"{stats.result_pickle_bytes} B through pickle, "
+            f"{stats.shared_bytes} B through shared memory "
+            f"({stats.chunks} chunks)"
+        )
+    if args.record:
+        append_build_time(
+            net.num_vertices, args.record_seed, args.workers,
+            args.chunk_size, dt, path=args.record_path,
+        )
+        print(f"  recorded build time -> {args.record_path}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     net = load_text(args.network)
-    index = SILCIndex.load(args.index, net)
+    index = SILCIndex.load(args.index, net, mmap=args.mmap)
     per_vertex = index.blocks_per_vertex()
     print(f"vertices:        {net.num_vertices}")
     print(f"edges:           {net.num_edges}")
@@ -101,7 +126,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_path(args: argparse.Namespace) -> int:
     net = load_text(args.network)
-    index = SILCIndex.load(args.index, net)
+    index = SILCIndex.load(args.index, net, mmap=args.mmap)
     path = index.path(args.source, args.target)
     dist = index.distance(args.source, args.target)
     print(" -> ".join(map(str, path)))
@@ -111,7 +136,7 @@ def _cmd_path(args: argparse.Namespace) -> int:
 
 def _cmd_knn(args: argparse.Namespace) -> int:
     net = load_text(args.network)
-    index = SILCIndex.load(args.index, net)
+    index = SILCIndex.load(args.index, net, mmap=args.mmap)
     objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
     object_index = ObjectIndex(net, objects, index.embedding)
     engine = QueryEngine(index, object_index)
@@ -140,7 +165,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     net = load_text(args.network)
-    index = SILCIndex.load(args.index, net)
+    index = SILCIndex.load(args.index, net, mmap=args.mmap)
     objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
     object_index = ObjectIndex(net, objects, index.embedding)
     engine = QueryEngine(
@@ -151,7 +176,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> int:
-        async with AsyncEngine(engine) as async_engine:
+        async with AsyncEngine(engine, max_workers=args.workers) as async_engine:
             server = SILCServer(
                 async_engine,
                 scheduler=FairScheduler(chunk_size=args.chunk_size),
@@ -194,7 +219,12 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("build", help="run the SILC precompute")
     p.add_argument("network")
-    p.add_argument("index", help="output index file (.npz)")
+    p.add_argument(
+        "index",
+        help="output index path: *.npz for a compressed archive, "
+        "anything else for a directory of raw .npy columns "
+        "(loadable with --mmap)",
+    )
     p.add_argument(
         "--workers",
         type=int,
@@ -209,11 +239,40 @@ def make_parser() -> argparse.ArgumentParser:
         default=128,
         help="sources per shortest-path batch (memory/throughput knob)",
     )
+    p.add_argument(
+        "--transport",
+        choices=["shm", "pickle"],
+        default=None,
+        help="how parallel chunk results move between processes "
+        "(default: shared memory when available)",
+    )
+    p.add_argument(
+        "--record",
+        action="store_true",
+        help="append this build's timing to the bench-report "
+        "trajectory file",
+    )
+    p.add_argument(
+        "--record-seed",
+        type=int,
+        default=-1,
+        help="seed tag for --record lines (the CLI does not know how "
+        "the network file was generated)",
+    )
+    p.add_argument(
+        "--record-path",
+        default=str(BUILD_TIMES_PATH),
+        help="trajectory file --record appends to (the default is "
+        "anchored to the source tree; pass an explicit path for "
+        "installed deployments)",
+    )
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("stats", help="report index statistics")
     p.add_argument("network")
     p.add_argument("index")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("path", help="retrieve a shortest path")
@@ -221,6 +280,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("index")
     p.add_argument("source", type=int)
     p.add_argument("target", type=int)
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_path)
 
     p = sub.add_parser("knn", help="k nearest random objects to a vertex")
@@ -237,6 +298,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--objects", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_knn)
 
     p = sub.add_parser(
@@ -265,6 +328,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-client token-bucket burst (defaults to --rate)")
     p.add_argument("--input", default=None,
                    help="read requests from a file instead of stdin")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel query worker threads (storage "
+                   "accounting shards per worker past 1)")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

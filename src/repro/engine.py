@@ -25,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import reduce
@@ -116,6 +117,10 @@ class QueryEngine:
         self.storage = storage
         self.max_locations = max_locations
         self._positions: OrderedDict = OrderedDict()
+        # Guards the location cache's read-reorder-evict sequence so
+        # parallel query workers (AsyncEngine max_workers > 1) can
+        # share the engine; resolution itself runs outside the lock.
+        self._positions_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Locations
@@ -129,19 +134,21 @@ class QueryEngine:
         last use.
         """
         try:
-            cached = self._positions.get(query)
+            with self._positions_lock:
+                cached = self._positions.get(query)
+                if cached is not None:
+                    self._positions.move_to_end(query)
         except TypeError:  # unhashable query form: resolve every time
             return resolve_location(self.index.network, query)
         if cached is None:
             cached = resolve_location(self.index.network, query)
-            self._positions[query] = cached
-            if (
-                self.max_locations is not None
-                and len(self._positions) > self.max_locations
-            ):
-                self._positions.popitem(last=False)
-        else:
-            self._positions.move_to_end(query)
+            with self._positions_lock:
+                self._positions[query] = cached
+                if (
+                    self.max_locations is not None
+                    and len(self._positions) > self.max_locations
+                ):
+                    self._positions.popitem(last=False)
         return cached
 
     # ------------------------------------------------------------------

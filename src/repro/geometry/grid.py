@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.geometry.morton import MAX_ORDER, block_rect, morton_encode_array
+from repro.geometry.morton import (
+    MAX_ORDER,
+    block_rect,
+    morton_decode_array,
+    morton_encode_array,
+)
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
@@ -88,6 +93,28 @@ class GridEmbedding:
             self.bounds.ymin + cells.ymin * self.cell_height,
             self.bounds.xmin + cells.xmax * self.cell_width,
             self.bounds.ymin + cells.ymax * self.cell_height,
+        )
+
+    def block_world_bounds_array(
+        self, codes: np.ndarray, levels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`block_world_rect` over many blocks.
+
+        Returns ``(xmin, ymin, xmax, ymax)`` float arrays, computed
+        with the same arithmetic (and therefore bit-identical bounds)
+        as the scalar path.
+        """
+        cx, cy = morton_decode_array(codes)
+        side = np.int64(1) << np.asarray(levels, dtype=np.int64)
+        cw = self.cell_width
+        ch = self.cell_height
+        x0 = self.bounds.xmin
+        y0 = self.bounds.ymin
+        return (
+            x0 + cx.astype(np.float64) * cw,
+            y0 + cy.astype(np.float64) * ch,
+            x0 + (cx + side).astype(np.float64) * cw,
+            y0 + (cy + side).astype(np.float64) * ch,
         )
 
     # ------------------------------------------------------------------

@@ -94,6 +94,30 @@ def morton_encode_array(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
     return spread(x) | (spread(y) << np.uint64(1))
 
 
+def morton_decode_array(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`morton_decode` for bulk block geometry.
+
+    Accepts an integer array of Z-order codes; returns ``(xs, ys)``
+    cell-coordinate arrays as ``int64``.  The block-bound hot path of
+    the kNN search decodes every overlapping quadtree block of a probe
+    at once through this.
+    """
+    v = np.asarray(codes, dtype=np.uint64)
+
+    def compact(v: np.ndarray) -> np.ndarray:
+        v = v & np.uint64(_MASKS_SPREAD[4])
+        v = (v | (v >> np.uint64(1))) & np.uint64(_MASKS_SPREAD[3])
+        v = (v | (v >> np.uint64(2))) & np.uint64(_MASKS_SPREAD[2])
+        v = (v | (v >> np.uint64(4))) & np.uint64(_MASKS_SPREAD[1])
+        v = (v | (v >> np.uint64(8))) & np.uint64(_MASKS_SPREAD[0])
+        return v
+
+    return (
+        compact(v).astype(np.int64),
+        compact(v >> np.uint64(1)).astype(np.int64),
+    )
+
+
 # ----------------------------------------------------------------------
 # Block algebra.  A block is the pair (code, level): the aligned square
 # of side 2**level cells whose lower-left cell has Z-order code ``code``.

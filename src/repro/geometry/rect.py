@@ -112,8 +112,16 @@ class Rect:
         Zero when ``p`` lies inside.  This is the classic MINDIST bound
         used by best-first spatial search (Hjaltason & Samet 1995).
         """
-        dx = max(self.xmin - p.x, 0.0, p.x - self.xmax)
-        dy = max(self.ymin - p.y, 0.0, p.y - self.ymax)
+        return self.min_distance_to_point_xy(p.x, p.y)
+
+    def min_distance_to_point_xy(self, x: float, y: float) -> float:
+        """:meth:`min_distance_to_point` without the Point allocation.
+
+        The block-bound hot path calls this once per object-index
+        block probed.
+        """
+        dx = max(self.xmin - x, 0.0, x - self.xmax)
+        dy = max(self.ymin - y, 0.0, y - self.ymax)
         return math.hypot(dx, dy)
 
     def max_distance_to_point(self, p: Point) -> float:

@@ -40,6 +40,11 @@ class MortonBlock:
         return self.code + self.cells
 
 
+def compute_ends(codes: np.ndarray, levels: np.ndarray) -> np.ndarray:
+    """Exclusive end code of each block: ``code + 4**level``."""
+    return codes + (np.int64(1) << (2 * levels.astype(np.int64)))
+
+
 class BlockTable:
     """Immutable sorted collection of disjoint Morton blocks.
 
@@ -47,6 +52,11 @@ class BlockTable:
     time: point location of a vertex's grid cell (binary search) and
     retrieval of every block overlapping a code range (for bounding
     object-index blocks).
+
+    A table either owns its five columns (the validating constructor)
+    or is a zero-copy *view* over slices of a shared columnar store
+    (:meth:`view`, used by :class:`repro.silc.store.FlatStore` so tens
+    of thousands of per-vertex tables share one set of arrays).
     """
 
     __slots__ = (
@@ -84,7 +94,7 @@ class BlockTable:
             and self.lam_max.size == n
         ):
             raise ValueError("block table columns must have equal length")
-        self._ends = self.codes + (np.int64(1) << (2 * self.levels.astype(np.int64)))
+        self._ends = compute_ends(self.codes, self.levels)
         if n > 1:
             if not np.all(np.diff(self.codes) > 0):
                 raise ValueError("block codes must be strictly increasing")
@@ -100,13 +110,59 @@ class BlockTable:
         self._lam_min_list: list[float] | None = None
         self._lam_max_list: list[float] | None = None
 
+    @classmethod
+    def view(
+        cls,
+        codes: np.ndarray,
+        levels: np.ndarray,
+        colors: np.ndarray,
+        lam_min: np.ndarray,
+        lam_max: np.ndarray,
+        ends: np.ndarray | None = None,
+    ) -> "BlockTable":
+        """Trusted zero-copy construction over pre-validated columns.
+
+        Skips dtype coercion and the sortedness/disjointness checks --
+        the columns must already satisfy the invariants (they come out
+        of :func:`repro.quadtree.region.build_region_blocks` or a
+        round-tripped save).  ``ends`` may pass a precomputed end-code
+        slice; when omitted it is derived lazily on first probe, which
+        keeps mmap-backed loads from faulting in every column page.
+        """
+        self = object.__new__(cls)
+        self.codes = codes
+        self.levels = levels
+        self.colors = colors
+        self.lam_min = lam_min
+        self.lam_max = lam_max
+        self._ends = ends
+        self._codes_list = None
+        self._ends_list = None
+        self._colors_list = None
+        self._lam_min_list = None
+        self._lam_max_list = None
+        return self
+
+    @property
+    def ends(self) -> np.ndarray:
+        """Exclusive end codes, derived lazily for view tables."""
+        if self._ends is None:
+            self._ends = compute_ends(self.codes, self.levels)
+        return self._ends
+
     def _lists(self) -> tuple[list[int], list[int]]:
         if self._codes_list is None:
-            self._codes_list = self.codes.tolist()
-            self._ends_list = self._ends.tolist()
+            # Build every mirror into locals first and publish
+            # ``_codes_list`` last: concurrent query workers may race
+            # into this lazy initialization, and the guard must not
+            # become true while sibling mirrors are still ``None``.
+            codes_list = self.codes.tolist()
+            ends_list = self.ends.tolist()
             self._colors_list = self.colors.tolist()
             self._lam_min_list = self.lam_min.tolist()
             self._lam_max_list = self.lam_max.tolist()
+            self._ends_list = ends_list
+            self._codes_list = codes_list
         return self._codes_list, self._ends_list
 
     def lookup(self, cell_code: int) -> tuple[int, float, float, int] | None:
@@ -177,7 +233,7 @@ class BlockTable:
 
     def total_cells(self) -> int:
         """Grid cells covered by all blocks (coverage diagnostics)."""
-        return int((self._ends - self.codes).sum())
+        return int((self.ends - self.codes).sum())
 
     def storage_bytes(self, record_bytes: int = 16) -> int:
         """Simulated on-disk footprint of the table."""

@@ -349,7 +349,10 @@ def best_first_knn(
         stats.kmindist_final = kmin_tracker.value()
 
     if io_before is not None and index.storage is not None:
-        delta = index.storage.stats.delta_since(io_before)
+        # stats_since reads the calling thread's counters on sharded
+        # simulators, so concurrent queries never pollute each other's
+        # per-query I/O accounting.
+        delta = index.storage.stats_since(io_before)
         stats.io_accesses = delta.accesses
         stats.io_misses = delta.misses
         stats.io_time = delta.io_time(index.storage.miss_latency)

@@ -5,25 +5,39 @@ synchronous query engine: every call runs on a bounded
 ``ThreadPoolExecutor`` so the asyncio event loop keeps accepting and
 scheduling requests while a query grinds through refinement steps.
 
-The wrapped engine's serving state stays *shared*: one warm
-:class:`~repro.storage.StorageSimulator` and one resolved-location
-cache across every task that awaits on the facade.  Because the
-engine's storage attach/restore protocol mutates ``index.storage``
-and is not safe to interleave from two threads, all engine calls are
-serialized through one lock -- the executor buys event-loop
-liveness, not CPU parallelism (which the GIL precludes for this
-pure-Python workload anyway).
+With ``max_workers == 1`` (the default) the engine behaves as before:
+one warm thread, queries strictly serialized.
+
+With ``max_workers > 1`` queries genuinely execute in parallel.  The
+historical blocker was the shared
+:class:`~repro.storage.StorageSimulator`: its single LRU is not safe
+to interleave and the per-query attach/restore handshake mutates
+``index.storage``.  The facade therefore
+
+* upgrades the engine's simulator to a
+  :class:`~repro.storage.ShardedStorageSimulator` (per-thread LRU
+  shards and counters, merged on read) unless it already is one, and
+* attaches it to the index for the facade's lifetime, so the
+  per-query attach handshake becomes a no-op read instead of a
+  mutation.
+
+After that, no lock guards query execution at all: per-query state is
+local, the location cache locks internally, and storage accounting is
+thread-sharded.  True CPU parallelism is still GIL-bound for the
+pure-Python search, but everything that *releases* the GIL -- numpy
+column scans and, in the I/O-simulating benchmark regime, real
+per-fault latency -- now overlaps across workers.
 """
 
 from __future__ import annotations
 
 import asyncio
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
 from repro.engine import BatchResult, QueryEngine
 from repro.query.results import KNNResult
+from repro.storage.concurrent import ShardedStorageSimulator
 
 
 class AsyncEngine:
@@ -34,33 +48,67 @@ class AsyncEngine:
     engine:
         The synchronous engine whose caches and storage are shared.
     max_workers:
-        Executor threads.  More than one only helps once query
-        execution releases the GIL; the default keeps one warm thread.
+        Executor threads.  With more than one, the engine's storage is
+        upgraded to per-thread shards (see module docstring) and
+        queries run without any global lock.
+
+        The upgrade **rebinds** ``engine.storage`` when it was a plain
+        serial simulator: a reference you held to the original object
+        stops seeing traffic, and its accumulated counters and cache
+        warmth are not carried over (shards start cold).  Read
+        ``engine.storage`` after construction for the live simulator,
+        or pass a :class:`ShardedStorageSimulator` yourself to keep
+        control of the object.
     """
 
     def __init__(self, engine: QueryEngine, max_workers: int = 1) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.engine = engine
+        self.max_workers = max_workers
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
-        # Serializes QueryEngine calls: the storage attach/restore
-        # handshake around each query must not interleave across
-        # threads, or one query's restore detaches another's simulator
-        # mid-flight.
-        self._lock = threading.Lock()
+        self._attached = False
+        self._previous_storage = None
+        if max_workers > 1:
+            self._prepare_parallel()
         self._closed = False
 
+    def _prepare_parallel(self) -> None:
+        """Make shared state safe for lock-free parallel queries."""
+        engine = self.engine
+        if engine.storage is not None and not getattr(
+            engine.storage, "concurrent_safe", False
+        ):
+            engine.storage = ShardedStorageSimulator.from_simulator(engine.storage)
+        index = engine.index
+        if engine.storage is not None:
+            # Pre-attach for the facade's lifetime: QueryEngine._attach
+            # then sees ``index.storage is self.storage`` on every query
+            # and never mutates shared state mid-flight.
+            self._previous_storage = index.storage
+            index.attach_storage(engine.storage)
+            self._attached = True
+        elif index.storage is not None and not getattr(
+            index.storage, "concurrent_safe", False
+        ):
+            raise ValueError(
+                "AsyncEngine(max_workers > 1) needs a concurrency-safe "
+                "storage simulator; the index has a serial StorageSimulator "
+                "attached directly. Attach a ShardedStorageSimulator (or "
+                "give the engine its own storage) instead."
+            )
+
     async def _run(self, fn, *args, **kwargs):
+        # No lock in either mode: a single-worker executor serializes
+        # inherently, and the parallel mode's shared state was made
+        # safe up front by _prepare_parallel.
         if self._closed:
             raise RuntimeError("AsyncEngine is closed")
-
-        def call():
-            with self._lock:
-                return fn(*args, **kwargs)
-
-        return await asyncio.get_running_loop().run_in_executor(self._executor, call)
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, lambda: fn(*args, **kwargs)
+        )
 
     # ------------------------------------------------------------------
     # Queries (mirror QueryEngine's surface)
@@ -89,6 +137,13 @@ class AsyncEngine:
         if not self._closed:
             self._closed = True
             self._executor.shutdown(wait=True)
+            if self._attached:
+                self._attached = False
+                index = self.engine.index
+                if self._previous_storage is None:
+                    index.detach_storage()
+                else:
+                    index.attach_storage(self._previous_storage)
 
     async def __aenter__(self) -> "AsyncEngine":
         return self

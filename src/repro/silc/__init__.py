@@ -8,13 +8,16 @@ from repro.silc.coloring import ShortestPathMap, shortest_path_map, shortest_pat
 from repro.silc.index import SILCIndex
 from repro.silc.intervals import DistanceInterval
 from repro.silc.parallel import (
+    BuildTransferStats,
     available_workers,
     parallel_block_tables,
     resolve_workers,
+    shared_memory_available,
 )
 from repro.silc.proximal import BeyondHorizonError, ProximalSILCIndex
 from repro.silc.refinement import RefinableDistance, RefinementCounter
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
+from repro.silc.store import FlatStore
 from repro.silc.updates import affected_sources, diff_edges, update_index
 
 __all__ = [
@@ -25,13 +28,16 @@ __all__ = [
     "ProximalSILCIndex",
     "BeyondHorizonError",
     "DistanceInterval",
+    "FlatStore",
     "RefinableDistance",
     "RefinementCounter",
     "SPQuadtreeBuilder",
     "choose_grid_order",
     "available_workers",
+    "BuildTransferStats",
     "parallel_block_tables",
     "resolve_workers",
+    "shared_memory_available",
     "update_index",
     "affected_sources",
     "diff_edges",

@@ -22,13 +22,13 @@ through the simulated LRU buffer -- the paper's I/O cost model.
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.geometry.grid import GridEmbedding
 from repro.geometry.morton import block_cells
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.network.allpairs import materialize_sources
 from repro.network.errors import PathNotFound
@@ -39,6 +39,7 @@ from repro.silc.parallel import parallel_block_tables, resolve_workers
 from repro.silc.intervals import DistanceInterval
 from repro.silc.refinement import RefinableDistance, RefinementCounter
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
+from repro.silc.store import COLUMNS, FlatStore
 from repro.storage.simulator import StorageSimulator
 
 #: Relative padding applied to interval bounds so that float round-off
@@ -54,16 +55,24 @@ class SILCIndex:
         network: SpatialNetwork,
         embedding: GridEmbedding,
         vertex_codes: np.ndarray,
-        tables: list[BlockTable],
+        tables: list[BlockTable] | FlatStore,
     ) -> None:
-        if len(tables) != network.num_vertices:
+        if isinstance(tables, FlatStore):
+            store = tables
+        else:
+            store = FlatStore.from_tables(tables)
+        if store.num_tables != network.num_vertices:
             raise ValueError(
-                f"{len(tables)} tables for {network.num_vertices} vertices"
+                f"{store.num_tables} tables for {network.num_vertices} vertices"
             )
         self.network = network
         self.embedding = embedding
         self.vertex_codes = np.asarray(vertex_codes, dtype=np.int64)
-        self.tables = tables
+        #: The flat columnar store all per-vertex tables are views of.
+        self.store = store
+        #: Per-vertex zero-copy views over ``store`` (the historical
+        #: query interface; no column data is duplicated).
+        self.tables = store.views()
         self.storage: StorageSimulator | None = None
         # Native-type mirrors for the query hot path: indexing numpy
         # scalars costs ~10x a list lookup, and interval_from runs once
@@ -83,6 +92,7 @@ class SILCIndex:
         sources: Sequence[int] | None = None,
         progress: Callable[[int, int], None] | None = None,
         workers: int | None = None,
+        transport: str | None = None,
     ) -> "SILCIndex":
         """Run the full SILC precompute for a network.
 
@@ -93,8 +103,10 @@ class SILCIndex:
         source (after each chunk in parallel mode).  ``workers`` fans
         the per-source builds across a process pool: ``None``/``1``
         builds serially, ``0`` uses every available CPU, and any other
-        value is the pool size.  The parallel result is byte-identical
-        to the serial one.
+        value is the pool size.  ``transport`` picks how a parallel
+        build moves data between processes (``"shm"``/``"pickle"``;
+        default: shared memory when available).  The parallel result
+        is byte-identical to the serial one either way.
         """
         network.require_strongly_connected()
         embedding, codes = choose_grid_order(network)
@@ -111,6 +123,7 @@ class SILCIndex:
                 workers=n_workers,
                 chunk_size=chunk_size,
                 progress=progress,
+                transport=transport,
             )
             for source, table in built.items():
                 tables[source] = table
@@ -138,7 +151,7 @@ class SILCIndex:
     # ------------------------------------------------------------------
     def attach_storage(self, simulator: StorageSimulator) -> None:
         """Route every block-table probe through a page-cache simulator."""
-        expected = [len(t) for t in self.tables]
+        expected = self.store.sizes.tolist()
         if simulator.layout.table_sizes != expected:
             raise ValueError("simulator layout does not match the index tables")
         self.storage = simulator
@@ -147,12 +160,27 @@ class SILCIndex:
         self.storage = None
 
     def make_storage(
-        self, cache_fraction: float = 0.05, miss_latency: float | None = None
+        self,
+        cache_fraction: float = 0.05,
+        miss_latency: float | None = None,
+        concurrent: bool = False,
     ) -> StorageSimulator:
-        """A simulator sized for this index (paper default: 5% cache)."""
+        """A simulator sized for this index (paper default: 5% cache).
+
+        ``concurrent=True`` returns a
+        :class:`~repro.storage.ShardedStorageSimulator` whose LRU state
+        and counters are per-thread, safe for parallel query workers.
+        """
         kwargs = {} if miss_latency is None else {"miss_latency": miss_latency}
+        sizes = self.store.sizes.tolist()
+        if concurrent:
+            from repro.storage.concurrent import ShardedStorageSimulator
+
+            return ShardedStorageSimulator.for_table_sizes(
+                sizes, cache_fraction=cache_fraction, **kwargs
+            )
         return StorageSimulator.for_table_sizes(
-            [len(t) for t in self.tables], cache_fraction=cache_fraction, **kwargs
+            sizes, cache_fraction=cache_fraction, **kwargs
         )
 
     # ------------------------------------------------------------------
@@ -261,39 +289,41 @@ class SILCIndex:
             return float("inf")
         if self.storage is not None:
             self.storage.touch_range(source, rows.start, rows.stop)
-        p = Point(float(self.network.xs[source]), float(self.network.ys[source]))
+        px = self._xf[source]
+        py = self._yf[source]
         query_rect = self.embedding.block_world_rect(code, level)
-        best = float("inf")
-        for row in rows:
-            piece = self._intersection_rect(table, row, lo_code, hi_code, query_rect)
-            cand = float(table.lam_min[row]) * piece.min_distance_to_point(p)
-            if cand < best:
-                best = cand
+        sl = slice(rows.start, rows.stop)
+        b_codes = table.codes[sl]
+        b_levels = table.levels[sl].astype(np.int64)
+        # Aligned Morton blocks either nest or are disjoint, so the
+        # intersection of each overlapping block with the query block
+        # is simply the smaller of the two: the table block when it is
+        # nested inside the query range, the query block otherwise.
+        nested = (b_codes >= lo_code) & (
+            b_codes + (np.int64(1) << (2 * b_levels)) <= hi_code
+        )
+        dist = np.full(
+            b_codes.size, query_rect.min_distance_to_point_xy(px, py)
+        )
+        if nested.any():
+            xmin, ymin, xmax, ymax = self.embedding.block_world_bounds_array(
+                b_codes[nested], b_levels[nested]
+            )
+            dx = np.maximum(np.maximum(xmin - px, 0.0), px - xmax)
+            dy = np.maximum(np.maximum(ymin - py, 0.0), py - ymax)
+            dist[nested] = np.hypot(dx, dy)
+        best = float(np.min(table.lam_min[sl] * dist))
         return best * (1.0 - _REL_PAD)
-
-    def _intersection_rect(
-        self, table: BlockTable, row: int, lo_code: int, hi_code: int, query_rect: Rect
-    ) -> Rect:
-        """World rectangle of (table block) intersected with the query block.
-
-        Aligned Morton blocks either nest or are disjoint, so the
-        intersection is simply the smaller block.
-        """
-        b_code = int(table.codes[row])
-        b_cells = block_cells(int(table.levels[row]))
-        if lo_code <= b_code and b_code + b_cells <= hi_code:
-            return self.embedding.block_world_rect(b_code, int(table.levels[row]))
-        return query_rect
 
     # ------------------------------------------------------------------
     # Statistics / serialization
     # ------------------------------------------------------------------
     def total_blocks(self) -> int:
         """Total Morton blocks -- the paper's storage unit (p.16)."""
-        return sum(len(t) for t in self.tables)
+        return self.store.total_blocks
 
     def blocks_per_vertex(self) -> np.ndarray:
-        return np.array([len(t) for t in self.tables])
+        return self.store.sizes
 
     def storage_bytes(self, record_bytes: int = 16) -> int:
         return self.total_blocks() * record_bytes
@@ -301,17 +331,9 @@ class SILCIndex:
     def iter_tables(self) -> Iterator[tuple[int, BlockTable]]:
         yield from enumerate(self.tables)
 
-    def save(self, path) -> None:
-        """Serialize the index (and embedding) to an ``.npz`` archive."""
-        sizes = np.array([len(t) for t in self.tables], dtype=np.int64)
-        np.savez_compressed(
-            path,
-            sizes=sizes,
-            codes=np.concatenate([t.codes for t in self.tables]) if sizes.sum() else np.empty(0, np.int64),
-            levels=np.concatenate([t.levels for t in self.tables]) if sizes.sum() else np.empty(0, np.int8),
-            colors=np.concatenate([t.colors for t in self.tables]) if sizes.sum() else np.empty(0, np.int32),
-            lam_min=np.concatenate([t.lam_min for t in self.tables]) if sizes.sum() else np.empty(0),
-            lam_max=np.concatenate([t.lam_max for t in self.tables]) if sizes.sum() else np.empty(0),
+    def _save_payload(self) -> dict[str, np.ndarray]:
+        payload = dict(
+            sizes=self.store.sizes.astype(np.int64),
             vertex_codes=self.vertex_codes,
             embedding_bounds=np.array(
                 [
@@ -323,28 +345,70 @@ class SILCIndex:
             ),
             embedding_order=np.array([self.embedding.order]),
         )
+        payload.update(self.store.column_arrays())
+        return payload
+
+    def save(self, path) -> None:
+        """Serialize the index (and embedding) to disk.
+
+        Two layouts, chosen by the path: a ``.npz`` suffix writes the
+        historical compressed archive; any other path is treated as a
+        *directory* and the same arrays land as one ``.npy`` file each.
+        Only the directory layout supports ``load(..., mmap=True)``
+        (``.npz`` members cannot be memory-mapped).
+        """
+        payload = self._save_payload()
+        if str(path).endswith(".npz"):
+            np.savez_compressed(path, **payload)
+            return
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, array in payload.items():
+            np.save(directory / f"{name}.npy", array)
 
     @classmethod
-    def load(cls, path, network: SpatialNetwork) -> "SILCIndex":
-        """Restore an index saved by :meth:`save` for the same network."""
-        with np.load(path) as data:
-            sizes = data["sizes"]
-            offsets = np.concatenate([[0], np.cumsum(sizes)])
-            tables = []
-            for i in range(sizes.size):
-                lo, hi = int(offsets[i]), int(offsets[i + 1])
-                tables.append(
-                    BlockTable(
-                        data["codes"][lo:hi],
-                        data["levels"][lo:hi],
-                        data["colors"][lo:hi],
-                        data["lam_min"][lo:hi],
-                        data["lam_max"][lo:hi],
-                    )
-                )
-            b = data["embedding_bounds"]
-            embedding = GridEmbedding(
-                Rect(float(b[0]), float(b[1]), float(b[2]), float(b[3])),
-                int(data["embedding_order"][0]),
+    def load(cls, path, network: SpatialNetwork, mmap: bool = False) -> "SILCIndex":
+        """Restore an index saved by :meth:`save` for the same network.
+
+        ``mmap=True`` memory-maps the block columns of a
+        directory-layout save instead of reading them: cold start then
+        touches O(num_vertices) bytes (sizes and vertex codes) and the
+        OS pages column data in on demand as queries probe it.  The
+        mmap path skips the store-wide invariant validation an
+        in-memory load performs (validating would fault in every
+        column page, defeating the point); trust it only with files
+        this package wrote.
+        """
+        directory = Path(path)
+        if directory.is_dir():
+            mode = "r" if mmap else None
+
+            def get(name: str) -> np.ndarray:
+                return np.load(directory / f"{name}.npy", mmap_mode=mode)
+
+            return cls._from_arrays(network, get, validate=not mmap)
+        if mmap:
+            raise ValueError(
+                "mmap=True requires a directory-layout save "
+                "(save to a path without the .npz suffix); "
+                f"{path!r} is a .npz archive"
             )
-            return cls(network, embedding, data["vertex_codes"], tables)
+        with np.load(path) as data:
+            return cls._from_arrays(network, data.__getitem__, validate=True)
+
+    @classmethod
+    def _from_arrays(
+        cls, network: SpatialNetwork, get, validate: bool
+    ) -> "SILCIndex":
+        store = FlatStore.from_columns(
+            np.asarray(get("sizes"), dtype=np.int64),
+            {name: get(name) for name in COLUMNS},
+        )
+        if validate:
+            store.validate()
+        b = get("embedding_bounds")
+        embedding = GridEmbedding(
+            Rect(float(b[0]), float(b[1]), float(b[2]), float(b[3])),
+            int(get("embedding_order")[0]),
+        )
+        return cls(network, embedding, np.asarray(get("vertex_codes")), store)

@@ -5,13 +5,30 @@ embarrassingly parallel (p.27): each source's shortest-path map and
 quadtree depend only on the network, the shared grid embedding, and
 that one source.  This module exploits exactly that independence.  A
 ``multiprocessing`` pool is primed once per worker with the network
-and the embedding (the pool initializer); each task is a *chunk* of
-source vertices, for which the worker runs the chunked scipy Dijkstra,
-compresses each coloring into Morton blocks, and ships back the five
-serialized :class:`~repro.quadtree.blocks.BlockTable` columns as plain
-numpy arrays.  The parent rebuilds the tables and slots them by source
-id, so the assembled index is **byte-identical** to a serial build no
-matter in which order chunks complete.
+and the embedding; each task is a *chunk* of source vertices, for
+which the worker runs the chunked scipy Dijkstra and compresses each
+coloring into Morton blocks.  The parent slots the resulting tables
+by source id, so the assembled index is **byte-identical** to a
+serial build no matter in which order chunks complete.
+
+Two transports move the data:
+
+``shm`` (the default where ``multiprocessing.shared_memory`` works)
+    The network CSR, coordinates and vertex codes are published
+    *once* in a shared-memory segment; workers rebuild the network
+    from those buffers with :meth:`SpatialNetwork.from_csr` -- no
+    object-graph pickle per worker.  Each finished chunk's block
+    columns are written into a fresh shared-memory segment and only
+    the segment name plus per-source sizes travel back through the
+    pool's result pickle, so the per-chunk pickle payload is a few
+    hundred bytes regardless of ``chunk_size``.
+
+``pickle`` (fallback, and the pre-flat-store behavior)
+    Workers ship the five serialized column arrays back through the
+    result pickle.
+
+:class:`BuildTransferStats` counts both channels so benchmarks can
+assert that the shm transport moves ~zero bytes through pickle.
 
 Used by :meth:`repro.silc.index.SILCIndex.build` and
 :meth:`repro.silc.proximal.ProximalSILCIndex.build` whenever
@@ -21,21 +38,73 @@ Used by :meth:`repro.silc.index.SILCIndex.build` and
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 import os
 from typing import Callable, Sequence
 
 import numpy as np
+from scipy import sparse
 
 from repro.geometry.grid import GridEmbedding
 from repro.network.graph import SpatialNetwork
 from repro.quadtree.blocks import BlockTable
 from repro.silc.coloring import shortest_path_maps
 from repro.silc.sp_quadtree import SPQuadtreeBuilder
+from repro.silc.store import COLUMNS
 
-#: Per-worker state installed by :func:`_init_worker`.  Module-level so
-#: it survives between tasks without re-pickling the network per chunk.
+#: Per-worker state installed by the pool initializers.  Module-level
+#: so it survives between tasks without re-pickling per chunk.
 _BUILDER: SPQuadtreeBuilder | None = None
 _LIMIT: float = np.inf
+_SHM_IN: shared_memory.SharedMemory | None = None
+
+TRANSPORTS = ("shm", "pickle")
+
+
+@dataclass
+class BuildTransferStats:
+    """Bytes moved per transport channel during one parallel build.
+
+    ``result_pickle_bytes`` re-measures each chunk's return value with
+    ``pickle.dumps`` -- the same serialization the pool applies -- so
+    the two transports are directly comparable.  ``shared_bytes``
+    counts column bytes written to (input segment) and read from
+    (per-chunk result segments) shared memory.
+    """
+
+    transport: str = "pickle"
+    chunks: int = 0
+    result_pickle_bytes: int = 0
+    shared_bytes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def record_result(self, payload: object) -> None:
+        """Measure a (small) shm-transport return by re-pickling it."""
+        self.chunks += 1
+        self.result_pickle_bytes += len(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def record_result_estimate(self, payload: list) -> None:
+        """Estimate a pickle-transport return from its array bytes.
+
+        Re-pickling the full columns just to count them would double
+        the serialization cost of exactly the transport where it is
+        already the bottleneck; the column ``nbytes`` (plus a small
+        per-array envelope) is accurate to within pickle framing.
+        """
+        self.chunks += 1
+        for entry in payload:
+            self.result_pickle_bytes += 64  # tuple + source envelope
+            for arr in entry[1:]:
+                self.result_pickle_bytes += arr.nbytes + 128
+
+
+#: Transfer accounting of the most recent :func:`parallel_block_tables`
+#: call in this process (diagnostics and benchmark assertions).
+last_build_stats: BuildTransferStats | None = None
 
 
 def available_workers() -> int:
@@ -61,7 +130,115 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _init_worker(
+def shared_memory_available() -> bool:
+    """Whether the shm transport's segment lifetime contract holds.
+
+    The result-segment handoff relies on POSIX unlink semantics: a
+    worker closes its handle and the data survives until the parent
+    unlinks.  On Windows a named section dies with its last open
+    handle, so the transport reports unavailable there and builds
+    fall back to pickle.
+    """
+    if os.name != "posix":  # pragma: no cover - POSIX-only contract
+        return False
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return False
+    _close_shm(seg, unlink=True)
+    return True
+
+
+def _close_shm(seg: shared_memory.SharedMemory, unlink: bool) -> None:
+    """Close a handle; with ``unlink=True`` also free the segment.
+
+    Resource-tracker bookkeeping rides on ``unlink()`` (it both
+    removes the segment and unregisters the name).  Parent and pool
+    workers share one tracker process whose cache of names is a *set*,
+    so each segment must be unlinked/unregistered exactly once -- by
+    the parent, which owns every segment's lifetime.  Workers only
+    ever ``close()`` their handles.
+    """
+    seg.close()
+    if unlink:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            try:
+                resource_tracker.unregister(
+                    getattr(seg, "_name", seg.name), "shared_memory"
+                )
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Array bundles in one shared-memory segment
+# ----------------------------------------------------------------------
+
+def _pack_arrays(
+    arrays: dict[str, np.ndarray],
+) -> tuple[shared_memory.SharedMemory, tuple]:
+    """Copy named arrays into one fresh segment.
+
+    Returns the open segment plus a picklable descriptor
+    ``(segment_name, [(key, dtype_str, length, offset), ...])`` from
+    which :func:`_unpack_arrays` rebuilds zero-copy views.
+    """
+    layout = []
+    offset = 0
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        layout.append((key, arr.dtype.str, arr.size, offset))
+        offset += arr.nbytes
+    seg = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (key, dtype, size, off), arr in zip(layout, arrays.values()):
+        dst = np.ndarray(size, dtype=dtype, buffer=seg.buf, offset=off)
+        dst[:] = np.ascontiguousarray(arr).ravel()
+    return seg, (seg.name, layout)
+
+
+def _unpack_arrays(
+    descriptor: tuple,
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach a segment written by :func:`_pack_arrays`.
+
+    The returned arrays are views into the segment's buffer: the
+    caller must keep the segment object alive for as long as it uses
+    them (and close it afterwards).
+    """
+    name, layout = descriptor
+    seg = shared_memory.SharedMemory(name=name)
+    arrays = {
+        key: np.ndarray(size, dtype=dtype, buffer=seg.buf, offset=off)
+        for key, dtype, size, off in layout
+    }
+    return seg, arrays
+
+
+def _network_descriptor(
+    network: SpatialNetwork, codes: np.ndarray
+) -> tuple[shared_memory.SharedMemory, tuple, int]:
+    """Publish the network CSR, coordinates and vertex codes once."""
+    csr = network.to_csr()
+    seg, descriptor = _pack_arrays(
+        {
+            "xs": network.xs,
+            "ys": network.ys,
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+            "data": csr.data,
+            "codes": np.asarray(codes, dtype=np.int64),
+        }
+    )
+    return seg, descriptor, seg.size
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _init_worker_pickle(
     network: SpatialNetwork,
     embedding: GridEmbedding,
     codes: np.ndarray,
@@ -72,23 +249,105 @@ def _init_worker(
     _LIMIT = limit
 
 
-def _build_chunk(
-    chunk: list[int],
-) -> list[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
-    """Worker task: block-table columns for one chunk of sources."""
+def _init_worker_shm(
+    descriptor: tuple,
+    embedding: GridEmbedding,
+    limit: float,
+) -> None:
+    global _BUILDER, _LIMIT, _SHM_IN
+    seg, arrays = _unpack_arrays(descriptor)
+    # The worker never unlinks or unregisters the input segment (the
+    # parent owns both); it only keeps the handle open for its own
+    # lifetime, because the rebuilt network aliases the buffer.
+    _SHM_IN = seg
+    n = arrays["xs"].size
+    csr = sparse.csr_matrix(
+        (arrays["data"], arrays["indices"], arrays["indptr"]),
+        shape=(n, n),
+        copy=False,
+    )
+    network = SpatialNetwork.from_csr(arrays["xs"], arrays["ys"], csr)
+    _BUILDER = SPQuadtreeBuilder(network, embedding, arrays["codes"])
+    _LIMIT = limit
+
+
+def _chunk_tables(chunk: list[int]) -> list[tuple[int, BlockTable]]:
     builder = _BUILDER
     assert builder is not None, "worker used before initialization"
     out = []
     for spm in shortest_path_maps(
         builder.network, sources=chunk, chunk_size=len(chunk), limit=_LIMIT
     ):
-        table = builder.build(spm.colors, spm.ratios)
+        out.append((spm.source, builder.build(spm.colors, spm.ratios)))
+    return out
+
+
+def _build_chunk_pickle(
+    chunk: list[int],
+) -> list[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Legacy transport: ship every column back through pickle."""
+    return [
+        (source, t.codes, t.levels, t.colors, t.lam_min, t.lam_max)
+        for source, t in _chunk_tables(chunk)
+    ]
+
+
+def _build_chunk_shm(chunk: list[int]) -> tuple:
+    """Shm transport: columns into a fresh segment, names back.
+
+    Returns ``(descriptor, sources, sizes)`` where ``descriptor`` is
+    ``None`` for an all-empty chunk.  The worker closes its handle
+    right away (the data survives until the parent unlinks); the
+    parent owns the unlink.
+    """
+    built = _chunk_tables(chunk)
+    sources = [source for source, _ in built]
+    sizes = [len(t) for _, t in built]
+    if sum(sizes) == 0:
+        return None, sources, sizes
+    columns = {
+        name: np.concatenate([getattr(t, name) for _, t in built])
+        for name in COLUMNS
+    }
+    # Close the handle but leave the segment linked (and registered --
+    # the parent unregisters once when it unlinks): the data must
+    # survive until the parent has copied it out.
+    seg, descriptor = _pack_arrays(columns)
+    seg.close()
+    return descriptor, sources, sizes
+
+
+def _receive_chunk_shm(
+    payload: tuple,
+) -> list[tuple[int, BlockTable]]:
+    """Parent side: copy a chunk's columns out of shared memory."""
+    descriptor, sources, sizes = payload
+    if descriptor is None:
+        return [
+            (source, BlockTable(*(np.empty(0) for _ in COLUMNS)))
+            for source in sources
+        ]
+    seg, arrays = _unpack_arrays(descriptor)
+    try:
+        columns = {name: np.array(arrays[name], copy=True) for name in COLUMNS}
+    finally:
+        _close_shm(seg, unlink=True)
+    offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    out = []
+    for i, source in enumerate(sources):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
         out.append(
-            (spm.source, table.codes, table.levels, table.colors,
-             table.lam_min, table.lam_max)
+            (
+                source,
+                BlockTable.view(*(columns[name][lo:hi] for name in COLUMNS)),
+            )
         )
     return out
 
+
+# ----------------------------------------------------------------------
+# Parent orchestration
+# ----------------------------------------------------------------------
 
 def parallel_block_tables(
     network: SpatialNetwork,
@@ -99,21 +358,42 @@ def parallel_block_tables(
     chunk_size: int = 128,
     progress: Callable[[int, int], None] | None = None,
     limit: float = np.inf,
+    transport: str | None = None,
 ) -> dict[int, BlockTable]:
     """Build the shortest-path quadtrees of many sources in parallel.
 
     Returns ``{source: BlockTable}`` for every requested source; the
-    caller assembles them into the per-vertex table list.  ``progress``
-    receives ``(done, total)`` as chunks complete (sources may finish
-    out of order; counts are monotone).
+    caller assembles them into the flat store.  ``progress`` receives
+    ``(done, total)`` as chunks complete (sources may finish out of
+    order; counts are monotone).  ``transport`` picks how results (and
+    in shm mode, the network) move between processes: ``"shm"``,
+    ``"pickle"``, or ``None`` for shm-when-available.  Transfer
+    accounting for the call lands in :data:`last_build_stats`.
+
+    If the pool iteration aborts mid-build (worker crash, interrupt),
+    result segments of chunks that finished but were never consumed
+    stay allocated until interpreter exit, where the multiprocessing
+    resource tracker reclaims them (with a warning); the input
+    segment is always unlinked here.
     """
+    global last_build_stats
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if transport is not None and transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    if transport is None:
+        transport = "shm" if shared_memory_available() else "pickle"
+    elif transport == "shm" and not shared_memory_available():
+        raise RuntimeError("shared memory is not available on this system")
     source_list = (
         list(range(network.num_vertices)) if sources is None else list(sources)
     )
     total = len(source_list)
     tables: dict[int, BlockTable] = {}
+    stats = BuildTransferStats(transport=transport)
+    last_build_stats = stats
     if total == 0:
         return tables
     # Shrink oversized chunks so every worker gets at least one task.
@@ -124,16 +404,48 @@ def parallel_block_tables(
     workers = min(workers, len(chunks))
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
+
+    seg_in: shared_memory.SharedMemory | None = None
+    if transport == "shm":
+        seg_in, descriptor, in_bytes = _network_descriptor(network, codes)
+        stats.shared_bytes += in_bytes
+        stats.extras["network_shared_bytes"] = in_bytes
+        initializer, initargs = _init_worker_shm, (descriptor, embedding, limit)
+        task = _build_chunk_shm
+    else:
+        initializer = _init_worker_pickle
+        initargs = (network, embedding, codes, limit)
+        task = _build_chunk_pickle
+
     done = 0
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(network, embedding, codes, limit),
-    ) as pool:
-        for chunk_result in pool.imap_unordered(_build_chunk, chunks):
-            for source, bcodes, levels, colors, lam_min, lam_max in chunk_result:
-                tables[source] = BlockTable(bcodes, levels, colors, lam_min, lam_max)
-            done += len(chunk_result)
-            if progress is not None:
-                progress(done, total)
+    try:
+        with ctx.Pool(
+            processes=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for payload in pool.imap_unordered(task, chunks):
+                if transport == "shm":
+                    stats.record_result(payload)
+                    received = _receive_chunk_shm(payload)
+                    stats.shared_bytes += sum(
+                        t.codes.nbytes
+                        + t.levels.nbytes
+                        + t.colors.nbytes
+                        + t.lam_min.nbytes
+                        + t.lam_max.nbytes
+                        for _, t in received
+                    )
+                else:
+                    stats.record_result_estimate(payload)
+                    received = [
+                        (source, BlockTable(bcodes, levels, colors, lam_min, lam_max))
+                        for source, bcodes, levels, colors, lam_min, lam_max in payload
+                    ]
+                for source, table in received:
+                    tables[source] = table
+                done += len(received)
+                if progress is not None:
+                    progress(done, total)
+    finally:
+        if seg_in is not None:
+            _close_shm(seg_in, unlink=True)
     return tables

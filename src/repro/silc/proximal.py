@@ -77,6 +77,7 @@ class ProximalSILCIndex(SILCIndex):
         radius: float,
         chunk_size: int = 128,
         workers: int | None = None,
+        transport: str | None = None,
     ) -> "ProximalSILCIndex":
         if radius <= 0:
             raise ValueError("radius must be positive")
@@ -93,6 +94,7 @@ class ProximalSILCIndex(SILCIndex):
                 workers=n_workers,
                 chunk_size=chunk_size,
                 limit=radius,
+                transport=transport,
             )
             for source, table in built.items():
                 tables[source] = table

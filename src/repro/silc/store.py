@@ -1,0 +1,237 @@
+"""The flat columnar SILC store.
+
+A SILC index holds one Morton-block table per network vertex -- tens
+of thousands of tables.  Materializing each as five small numpy arrays
+(the pre-flat layout) costs an allocation, a validation pass and a
+Python object per vertex, and forces every load to reassemble all of
+them.  :class:`FlatStore` keeps the whole index in **one** set of
+concatenated ``codes/levels/colors/lam_min/lam_max`` columns plus a
+per-vertex offset array -- exactly the layout ``SILCIndex.save`` has
+always written to disk -- and hands out per-vertex
+:class:`~repro.quadtree.blocks.BlockTable` *views* over slices of the
+shared columns.
+
+The layout is what makes the rest of the zero-copy pipeline possible:
+
+* a parallel build writes each chunk's columns into shared memory and
+  the parent assembles them by slicing, never pickling block data;
+* ``save`` is a plain dump of the columns, and a directory-layout save
+  can be loaded with ``mmap_mode="r"`` so cold start touches O(1)
+  bytes instead of O(total blocks);
+* every view is backed by the same memory, so the resident footprint
+  is the column bytes, once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.quadtree.blocks import BlockTable, compute_ends
+
+#: Column names in canonical order, shared by save/load and the
+#: shared-memory build transport.
+COLUMNS = ("codes", "levels", "colors", "lam_min", "lam_max")
+
+#: Canonical dtype per column.
+COLUMN_DTYPES = {
+    "codes": np.int64,
+    "levels": np.int8,
+    "colors": np.int32,
+    "lam_min": np.float64,
+    "lam_max": np.float64,
+}
+
+
+def empty_columns() -> dict[str, np.ndarray]:
+    """A zero-length column set with canonical dtypes."""
+    return {name: np.empty(0, dtype=dt) for name, dt in COLUMN_DTYPES.items()}
+
+
+class FlatStore:
+    """Concatenated block-table columns for every vertex of one index.
+
+    Parameters
+    ----------
+    offsets:
+        ``(num_vertices + 1,)`` int64 array; vertex ``v``'s blocks live
+        in rows ``offsets[v]:offsets[v + 1]`` of every column.
+    codes, levels, colors, lam_min, lam_max:
+        The concatenated columns.  Arrays are taken as-is (they may be
+        memory-mapped); dtypes must already be canonical.
+    """
+
+    __slots__ = (
+        "offsets",
+        "codes",
+        "levels",
+        "colors",
+        "lam_min",
+        "lam_max",
+        "_ends",
+    )
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        codes: np.ndarray,
+        levels: np.ndarray,
+        colors: np.ndarray,
+        lam_min: np.ndarray,
+        lam_max: np.ndarray,
+    ) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array of at least one entry")
+        total = int(self.offsets[-1])
+        self.codes = codes
+        self.levels = levels
+        self.colors = colors
+        self.lam_min = lam_min
+        self.lam_max = lam_max
+        for name in COLUMNS:
+            col = getattr(self, name)
+            if col.shape != (total,):
+                raise ValueError(
+                    f"column {name!r} has shape {col.shape}, expected ({total},)"
+                )
+        # End codes are derived lazily: computing them eagerly would
+        # fault in the codes/levels columns of an mmap-backed store.
+        self._ends: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(cls, tables: Iterable[BlockTable]) -> "FlatStore":
+        """Concatenate a sequence of per-vertex tables into one store."""
+        tables = list(tables)
+        sizes = np.array([len(t) for t in tables], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        if int(sizes.sum()) == 0:
+            cols = empty_columns()
+        else:
+            cols = {
+                name: np.concatenate(
+                    [np.asarray(getattr(t, name), dtype=COLUMN_DTYPES[name]) for t in tables]
+                )
+                for name in COLUMNS
+            }
+        return cls(offsets, **cols)
+
+    @classmethod
+    def from_columns(
+        cls, sizes: np.ndarray, columns: dict[str, np.ndarray]
+    ) -> "FlatStore":
+        """Build from per-vertex sizes plus already-concatenated columns."""
+        offsets = np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=np.int64))])
+        return cls(offsets.astype(np.int64), **{n: columns[n] for n in COLUMNS})
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "FlatStore":
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64), **empty_columns())
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        return int(self.offsets.size - 1)
+
+    @property
+    def total_blocks(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Blocks per vertex (``len(table(v))`` for every ``v``)."""
+        return np.diff(self.offsets)
+
+    def nbytes(self) -> int:
+        """Resident bytes of the columns (excludes the offset array)."""
+        return sum(getattr(self, name).nbytes for name in COLUMNS)
+
+    @property
+    def ends(self) -> np.ndarray:
+        """Concatenated exclusive end codes, computed on first use."""
+        if self._ends is None:
+            self._ends = compute_ends(
+                np.asarray(self.codes, dtype=np.int64), np.asarray(self.levels)
+            )
+        return self._ends
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "FlatStore":
+        """Check every table's invariants in one vectorized pass.
+
+        Within each table the codes must be strictly increasing and
+        the blocks disjoint -- exactly what the validating
+        :class:`BlockTable` constructor checks per table, amortized
+        over the whole store so loads of untrusted files stay fast.
+        Returns ``self`` for chaining; raises ``ValueError`` on a
+        corrupt store.
+        """
+        codes = np.asarray(self.codes, dtype=np.int64)
+        if codes.size > 1:
+            ends = self.ends
+            ok = (codes[1:] > codes[:-1]) & (ends[:-1] <= codes[1:])
+            # Adjacent-row pairs that span a table boundary carry no
+            # invariant; mask them out before complaining.
+            boundaries = self.offsets[1:-1] - 1
+            boundaries = boundaries[(boundaries >= 0) & (boundaries < ok.size)]
+            ok[boundaries] = True
+            if not ok.all():
+                row = int(np.flatnonzero(~ok)[0])
+                table = int(np.searchsorted(self.offsets, row, side="right")) - 1
+                raise ValueError(
+                    f"corrupt block store: rows {row}..{row + 1} "
+                    f"(table {table}) are unsorted or overlapping"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def table(self, v: int) -> BlockTable:
+        """A zero-copy :class:`BlockTable` view of vertex ``v``'s rows."""
+        lo = int(self.offsets[v])
+        hi = int(self.offsets[v + 1])
+        return BlockTable.view(
+            self.codes[lo:hi],
+            self.levels[lo:hi],
+            self.colors[lo:hi],
+            self.lam_min[lo:hi],
+            self.lam_max[lo:hi],
+            ends=None if self._ends is None else self._ends[lo:hi],
+        )
+
+    def views(self) -> list[BlockTable]:
+        """Per-vertex view tables; O(num_vertices), no column copies."""
+        offsets = self.offsets.tolist()
+        out = []
+        for v in range(self.num_tables):
+            lo, hi = offsets[v], offsets[v + 1]
+            out.append(
+                BlockTable.view(
+                    self.codes[lo:hi],
+                    self.levels[lo:hi],
+                    self.colors[lo:hi],
+                    self.lam_min[lo:hi],
+                    self.lam_max[lo:hi],
+                )
+            )
+        return out
+
+    def iter_tables(self) -> Iterator[BlockTable]:
+        for v in range(self.num_tables):
+            yield self.table(v)
+
+    # ------------------------------------------------------------------
+    # Serialization payload
+    # ------------------------------------------------------------------
+    def column_arrays(self) -> dict[str, np.ndarray]:
+        """The five columns keyed by canonical name (no copies)."""
+        return {name: getattr(self, name) for name in COLUMNS}

@@ -20,9 +20,12 @@ implements that strategy exactly:
    (ties are included), so rebuilding exactly those tables is safe.
 
 2. **Partial rebuild** -- only the affected sources' quadtrees are
-   recomputed (on the unchanged grid embedding); every other table is
-   shared with the old index, so the cost is proportional to the
-   damage, not to the network.
+   recomputed (on the unchanged grid embedding); every other table's
+   columns are carried over from the old index, so the recomputation
+   cost is proportional to the damage, not to the network.  (With the
+   flat columnar store, a no-op update shares the old index's store
+   object outright; a real update assembles one new store from the
+   carried-over and rebuilt columns.)
 """
 
 from __future__ import annotations
@@ -131,7 +134,7 @@ def update_index(
                 new_network,
                 index.embedding,
                 index.vertex_codes,
-                list(index.tables),
+                index.store,
             ),
             set(),
         )

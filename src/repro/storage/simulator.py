@@ -23,6 +23,10 @@ DEFAULT_MISS_LATENCY = 5e-3
 class StorageSimulator:
     """Page-level access simulation for one SILC index."""
 
+    #: Serial simulator: one shared LRU, unsafe to interleave across
+    #: query threads (see repro.storage.concurrent for the sharded one).
+    concurrent_safe = False
+
     layout: StorageLayout
     cache: LRUCache
     miss_latency: float = DEFAULT_MISS_LATENCY
@@ -65,6 +69,10 @@ class StorageSimulator:
 
     def snapshot(self) -> CacheStats:
         return self.stats.snapshot()
+
+    def stats_since(self, earlier: CacheStats) -> CacheStats:
+        """Counter delta since a :meth:`snapshot` (per-query stats)."""
+        return self.stats.delta_since(earlier)
 
     def io_time_since(self, earlier: CacheStats) -> float:
         return self.stats.delta_since(earlier).io_time(self.miss_latency)

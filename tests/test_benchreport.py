@@ -4,6 +4,7 @@ import pytest
 
 from repro.benchreport import (
     BuildRecord,
+    append_build_time,
     format_report,
     parse_build_times,
     report_file,
@@ -16,7 +17,7 @@ FIXTURE = """\
 
 # a comment line
 2026-07-03T10:00:00 n=1000 seed=42 workers=1 seconds=1.000
-2026-07-03T11:00:00 n=3000 seed=42 workers=4 seconds=5.125
+2026-07-03T11:00:00 n=3000 seed=42 workers=4 chunk_size=256 seconds=5.125
 """
 
 
@@ -28,6 +29,11 @@ class TestParse:
             stamp="2026-07-01T10:00:00", n=1000, seed=42, workers=1, seconds=2.5
         )
         assert records[3].workers == 4
+        assert records[3].chunk_size == 256
+
+    def test_chunkless_legacy_lines_parse(self):
+        records = parse_build_times(FIXTURE)
+        assert records[0].chunk_size is None
 
     def test_blank_and_comment_lines_skipped(self):
         assert len(parse_build_times("\n# only a comment\n")) == 0
@@ -37,15 +43,38 @@ class TestParse:
             parse_build_times("2026-07-01T10:00:00 n=notanint seed=1\n")
 
 
+class TestAppend:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "build_times.txt"
+        append_build_time(3000, 42, 2, 256, 1.25, path=path)
+        records = parse_build_times(path.read_text())
+        assert len(records) == 1
+        r = records[0]
+        assert (r.n, r.seed, r.workers, r.chunk_size, r.seconds) == (
+            3000, 42, 2, 256, 1.25
+        )
+
+    def test_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "build_times.txt"
+        append_build_time(100, 1, 1, 64, 0.5, path=path)
+        append_build_time(100, 1, 2, 64, 0.3, path=path)
+        assert len(parse_build_times(path.read_text())) == 2
+
+
 class TestFormat:
     def test_trajectory_columns(self):
         text = format_report(parse_build_times(FIXTURE))
         lines = text.splitlines()
         assert lines[0].split() == [
-            "n", "workers", "builds", "first_s", "latest_s", "best_s", "median_s",
+            "n", "workers", "chunk", "builds",
+            "first_s", "latest_s", "best_s", "median_s",
         ]
         row_1000 = next(l for l in lines if l.strip().startswith("1000"))
-        assert row_1000.split() == ["1000", "1", "3", "2.500", "1.000", "1.000", "2.000"]
+        assert row_1000.split() == [
+            "1000", "1", "-", "3", "2.500", "1.000", "1.000", "2.000",
+        ]
+        row_3000 = next(l for l in lines if l.strip().startswith("3000"))
+        assert row_3000.split()[:4] == ["3000", "4", "256", "1"]
         assert "(4 builds, 2026-07-01T10:00:00 .. 2026-07-03T11:00:00)" in text
 
     def test_empty_history(self):
