@@ -3,13 +3,16 @@
 Every fresh benchmark index build appends one line to that file (see
 :func:`append_build_time`)::
 
-    2026-07-29T14:30:10 n=3000 seed=42 workers=1 chunk_size=256 seconds=5.162
+    2026-07-29T14:30:10 n=3000 seed=42 workers=1 chunk_size=256 shards=1 seconds=5.162
 
-Older lines predate the ``chunk_size`` field and parse with
-``chunk_size=None``.  This module parses the accumulated history and
-renders the per-configuration trajectory table behind the
-``repro bench-report`` CLI subcommand -- the ROADMAP's "track the
-precompute cost from PR to PR without re-running old revisions" item.
+Older lines predate the ``chunk_size`` and ``shards`` fields and parse
+with those set to ``None``.  ``shards`` records the spatial shard
+count of sharded-serving runs, so they accumulate their own trajectory
+rows instead of overwriting the ``workers`` history.  This module
+parses the accumulated history and renders the per-configuration
+trajectory table behind the ``repro bench-report`` CLI subcommand --
+the ROADMAP's "track the precompute cost from PR to PR without
+re-running old revisions" item.
 """
 
 from __future__ import annotations
@@ -37,6 +40,9 @@ class BuildRecord:
     workers: int
     seconds: float
     chunk_size: int | None = None
+    #: Spatial shard processes of the recorded run (None on legacy
+    #: lines that predate the field; 1 means unsharded).
+    shards: int | None = None
 
 
 def append_build_time(
@@ -46,12 +52,15 @@ def append_build_time(
     chunk_size: int,
     seconds: float,
     path: str | Path = DEFAULT_PATH,
+    shards: int = 1,
 ) -> None:
     """Append one build timing line to the (append-only) history file.
 
     Shared by the benchmark fixtures and ``repro build --record``, so
     the trajectory accumulates from both suites and operational builds
-    without re-running old revisions.
+    without re-running old revisions.  ``shards`` tags runs of the
+    sharded serving tier (1 = unsharded) so their timings land in
+    their own trajectory rows.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -59,7 +68,7 @@ def append_build_time(
     with path.open("a") as f:
         f.write(
             f"{stamp} n={n} seed={seed} workers={workers} "
-            f"chunk_size={chunk_size} seconds={seconds:.3f}\n"
+            f"chunk_size={chunk_size} shards={shards} seconds={seconds:.3f}\n"
         )
 
 
@@ -79,6 +88,7 @@ def parse_build_times(text: str) -> list[BuildRecord]:
             stamp = parts[0]
             fields = dict(p.split("=", 1) for p in parts[1:])
             chunk = fields.get("chunk_size")
+            shards = fields.get("shards")
             records.append(
                 BuildRecord(
                     stamp=stamp,
@@ -87,6 +97,7 @@ def parse_build_times(text: str) -> list[BuildRecord]:
                     workers=int(fields["workers"]),
                     seconds=float(fields["seconds"]),
                     chunk_size=None if chunk is None else int(chunk),
+                    shards=None if shards is None else int(shards),
                 )
             )
         except (IndexError, KeyError, ValueError) as exc:
@@ -95,30 +106,38 @@ def parse_build_times(text: str) -> list[BuildRecord]:
 
 
 def format_report(records: list[BuildRecord]) -> str:
-    """The trajectory table: one row per (n, workers, chunk) config.
+    """The trajectory table: one row per (n, workers, chunk, shards) config.
 
     ``first``/``latest`` are in file order (the file is append-only,
     so file order is trajectory order); ``best``/``median`` summarize
-    the whole history of that configuration.  Pre-``chunk_size`` lines
-    render a ``-`` in that column.
+    the whole history of that configuration.  Lines predating the
+    ``chunk_size`` or ``shards`` fields render a ``-`` in those
+    columns.
     """
     if not records:
         return "no build timings recorded yet"
-    groups: dict[tuple[int, int, int], list[BuildRecord]] = {}
+    groups: dict[tuple[int, int, int, int], list[BuildRecord]] = {}
     for r in records:
-        key = (r.n, r.workers, -1 if r.chunk_size is None else r.chunk_size)
+        key = (
+            r.n,
+            r.workers,
+            -1 if r.chunk_size is None else r.chunk_size,
+            -1 if r.shards is None else r.shards,
+        )
         groups.setdefault(key, []).append(r)
     header = (
-        "n", "workers", "chunk", "builds", "first_s", "latest_s", "best_s", "median_s",
+        "n", "workers", "chunk", "shards",
+        "builds", "first_s", "latest_s", "best_s", "median_s",
     )
     rows = []
-    for (n, workers, chunk), rs in sorted(groups.items()):
+    for (n, workers, chunk, shards), rs in sorted(groups.items()):
         secs = [r.seconds for r in rs]
         rows.append(
             (
                 str(n),
                 str(workers),
                 "-" if chunk < 0 else str(chunk),
+                "-" if shards < 0 else str(shards),
                 str(len(rs)),
                 f"{secs[0]:.3f}",
                 f"{secs[-1]:.3f}",

@@ -176,7 +176,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> int:
-        async with AsyncEngine(engine, max_workers=args.workers) as async_engine:
+        async with AsyncEngine(
+            engine, max_workers=args.workers, shards=args.shards
+        ) as async_engine:
             server = SILCServer(
                 async_engine,
                 scheduler=FairScheduler(chunk_size=args.chunk_size),
@@ -331,6 +333,11 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="parallel query worker threads (storage "
                    "accounting shards per worker past 1)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="spatial shard worker *processes* for kNN "
+                   "queries: the index is partitioned by Morton-key "
+                   "ranges and a router prunes shards by distance "
+                   "bound (1 = in-process, no sharding)")
     p.add_argument("--mmap", action="store_true",
                    help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_serve)

@@ -25,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -154,14 +155,26 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def knn(self, query, k: int, variant: str = "knn", exact: bool = False) -> KNNResult:
-        """One k-nearest-neighbor query through the engine's shared state."""
+    def knn(
+        self,
+        query,
+        k: int,
+        variant: str = "knn",
+        exact: bool = False,
+        max_distance: float = math.inf,
+    ) -> KNNResult:
+        """One k-nearest-neighbor query through the engine's shared state.
+
+        ``max_distance`` (network-weight units) is an external pruning
+        cap: objects farther than it may be omitted and the search
+        stops early (see :func:`repro.query.bestfirst.best_first_knn`).
+        """
         position = self.resolve(query)
         attached, previous = self._attach()
         try:
             return best_first_knn(
                 self.index, self.object_index, position, k,
-                variant=variant, exact=exact,
+                variant=variant, exact=exact, max_distance=max_distance,
             )
         finally:
             self._restore(attached, previous)

@@ -147,6 +147,7 @@ def best_first_knn(
     k: int,
     variant: str = "knn",
     exact: bool = False,
+    max_distance: float = math.inf,
 ) -> KNNResult:
     """Find the ``k`` network-nearest objects to ``query``.
 
@@ -170,11 +171,23 @@ def best_first_knn(
         ``Neighbor.distance`` is the exact network distance.  The
         extra refinements are recorded separately in
         ``stats.extras['post_refinements']``.
+    max_distance:
+        External pruning cap in network-weight units: the search may
+        omit any object whose network distance strictly exceeds it, and
+        stops as soon as nothing closer remains -- so a cap far below
+        the local Dk makes the query cheap.  Objects at exactly
+        ``max_distance`` are still reported.  The sharded partition
+        router passes its current global k-th distance here, turning
+        visits to far shards into near no-ops.  ``inf`` (the default)
+        disables the cap.
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
     if k < 1:
         raise ValueError("k must be at least 1")
+    # The loop breaks at ``lo >= prune_bound()``; nudging the cap one
+    # ulp up keeps objects at exactly max_distance reportable.
+    cap = math.nextafter(max_distance, math.inf)
 
     t_start = perf_counter()
     stats = QueryStats()
@@ -198,10 +211,10 @@ def best_first_knn(
 
     def prune_bound() -> float:
         if use_dk:
-            return result_queue.dk(k)
+            return min(result_queue.dk(k), cap)
         if use_d0k:
-            return d0k
-        return math.inf
+            return min(d0k, cap)
+        return cap
 
     def push(lo: float, kind: int, payload: object) -> None:
         heapq.heappush(heap, (lo, next(seq), kind, payload))
@@ -313,7 +326,13 @@ def best_first_knn(
         # Boundary ties (or k > |S|): fall back to the tightest
         # remaining candidates, resolved exactly for safety.
         confirmed_oids = {s.oid for s in result_states}
-        remaining = [s for s in states.values() if s.oid not in confirmed_oids]
+        # Candidates past the external cap are omittable by contract
+        # (their distance exceeds every answer the caller can use).
+        remaining = [
+            s
+            for s in states.values()
+            if s.oid not in confirmed_oids and s.interval.lo <= max_distance
+        ]
         remaining.sort(key=lambda s: s.interval.lo)
         fill = remaining[: k - len(result_states)]
         for s in fill:

@@ -27,6 +27,15 @@ thread-sharded.  True CPU parallelism is still GIL-bound for the
 pure-Python search, but everything that *releases* the GIL -- numpy
 column scans and, in the I/O-simulating benchmark regime, real
 per-fault latency -- now overlaps across workers.
+
+With ``shards > 1`` the facade goes one step further and runs kNN
+queries on the spatially-sharded *process* tier
+(:class:`~repro.shard.ShardGroup`): the index is partitioned by
+Morton-key ranges, one worker process serves each shard's slice of
+the store and objects, and a partition router prunes shards by
+distance bound before scatter-gathering candidates.  kNN answers are
+then always exact; ``path``/``distance`` requests keep running on the
+local engine (they are single index walks with nothing to shard).
 """
 
 from __future__ import annotations
@@ -59,20 +68,49 @@ class AsyncEngine:
         ``engine.storage`` after construction for the live simulator,
         or pass a :class:`ShardedStorageSimulator` yourself to keep
         control of the object.
+    shards:
+        Spatial shard *processes* for kNN execution.  ``1`` (the
+        default) keeps everything in-process; with more, construction
+        partitions the engine's index and objects, writes the sharded
+        store layout, and spawns one worker process per populated
+        shard (see :class:`~repro.shard.ShardGroup`).  The executor is
+        widened to at least ``shards`` threads so that many sharded
+        queries can be in flight at once -- that concurrency is what
+        the worker processes turn into parallelism.
+    shard_dir:
+        Directory for the sharded store layout (default: a private
+        temporary directory, removed on :meth:`close`).
     """
 
-    def __init__(self, engine: QueryEngine, max_workers: int = 1) -> None:
+    def __init__(
+        self,
+        engine: QueryEngine,
+        max_workers: int = 1,
+        shards: int = 1,
+        shard_dir=None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         self.engine = engine
         self.max_workers = max_workers
+        self.shards = shards
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+            max_workers=max(max_workers, shards),
+            thread_name_prefix="repro-serve",
         )
         self._attached = False
         self._previous_storage = None
         if max_workers > 1:
             self._prepare_parallel()
+        self.shard_group = None
+        if shards > 1:
+            from repro.shard import ShardGroup
+
+            self.shard_group = ShardGroup.from_engine(
+                engine, shards, directory=shard_dir
+            )
         self._closed = False
 
     def _prepare_parallel(self) -> None:
@@ -114,11 +152,20 @@ class AsyncEngine:
     # Queries (mirror QueryEngine's surface)
     # ------------------------------------------------------------------
     async def knn(self, query, k: int, variant: str = "knn", exact: bool = False) -> KNNResult:
+        if self.shard_group is not None:
+            # The sharded tier always refines to exact distances (the
+            # router merges candidates by comparing them), so `exact`
+            # is subsumed rather than forwarded.
+            return await self._run(self.shard_group.knn, query, k, variant=variant)
         return await self._run(self.engine.knn, query, k, variant=variant, exact=exact)
 
     async def knn_batch(
         self, queries: Iterable, k: int, variant: str = "knn", exact: bool = False
     ) -> BatchResult:
+        if self.shard_group is not None:
+            return await self._run(
+                self.shard_group.knn_batch, queries, k, variant=variant
+            )
         return await self._run(
             self.engine.knn_batch, queries, k, variant=variant, exact=exact
         )
@@ -137,6 +184,8 @@ class AsyncEngine:
         if not self._closed:
             self._closed = True
             self._executor.shutdown(wait=True)
+            if self.shard_group is not None:
+                self.shard_group.close()
             if self._attached:
                 self._attached = False
                 index = self.engine.index

@@ -1,0 +1,39 @@
+"""Spatially-sharded process-parallel serving.
+
+The pure-Python best-first search is GIL-bound: thread workers
+(:class:`~repro.serve.engine.AsyncEngine` with ``max_workers > 1``)
+overlap simulated I/O but never the search itself.  This package
+breaks past that with worker *processes* over spatial shards:
+
+* :mod:`repro.shard.partitioner` splits the network into contiguous
+  Morton-key ranges and assigns every object to the shard(s) its
+  part points fall in;
+* :meth:`~repro.silc.SILCIndex.save_sharded` writes per-shard slices
+  of the flat columnar store, which each worker process mmap-loads
+  (its own slice resident, every other shard's pages shared through
+  the OS page cache);
+* :mod:`repro.shard.worker` runs one long-lived process per shard,
+  speaking a request/response pipe protocol;
+* :mod:`repro.shard.router` fronts them with a
+  :class:`~repro.shard.router.PartitionRouter` that prunes shards
+  whose Morton range provably lies beyond the query's current kNN
+  distance bound and scatter-gathers the survivors' candidates into
+  one global result heap.
+
+:class:`~repro.shard.worker.ShardGroup` bundles all of the above
+behind the two calls the serving layer needs (``knn``/``knn_batch``);
+``AsyncEngine(shards=N)`` and ``repro serve --shards N`` wire it in.
+"""
+
+from repro.shard.partitioner import ShardMap, split_objects
+from repro.shard.router import PartitionRouter, RouterStats
+from repro.shard.worker import ShardGroup, ShardWorker
+
+__all__ = [
+    "PartitionRouter",
+    "RouterStats",
+    "ShardGroup",
+    "ShardMap",
+    "ShardWorker",
+    "split_objects",
+]

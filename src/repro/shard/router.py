@@ -1,0 +1,279 @@
+"""The partition router: distance-bound shard pruning + scatter-gather.
+
+For one kNN query the router keeps a global candidate heap and visits
+shards in ascending *lower bound on the distance to anything the
+shard holds*.  Once k candidates are in hand, a shard whose bound
+already exceeds the current k-th distance ``Dk`` cannot contribute
+and is pruned without touching its worker -- the sharded analog of
+the paper's best-first block pruning.
+
+Two bounds, mirroring :meth:`repro.query.distances.QueryHandle.block_bound`:
+
+* **Euclidean**: ``slope * MINDIST(query point, shard cover rects)``
+  where ``slope = network.min_euclidean_ratio()``.  Sound for *every*
+  object kind (any path is at least ``slope`` times its straight-line
+  chord), and free -- no index probes.
+* **Lambda**: per cover block,
+  ``max(min over anchors of offset + block_lower_bound(anchor, block),
+  slope * MINDIST(point, block))`` through the router's own
+  (parent-process) shortest-path quadtrees -- the shard is skipped
+  when every block's combined bound exceeds ``Dk``.  Tighter than the
+  shard-level Euclidean bound, but its lambda term bounds distances to
+  *vertices* only, so it applies to shards whose assigned objects are
+  all vertex-positioned; shards holding edge parts use the Euclidean
+  bound alone.
+
+Soundness of pruning an object's shard: every part of the object lies
+in some assigned shard (see
+:func:`~repro.shard.partitioner.split_objects`); the bound of that
+shard lower-bounds the distance through that part; so if *all* of an
+object's shards are pruned, its true distance is ``>= Dk`` and the
+global top k is unaffected.  Visited workers return their shard-local
+top k with exact distances, so the merged top k is exact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from functools import reduce
+from time import perf_counter
+from typing import Iterable
+
+from repro.engine import BatchResult
+from repro.query.location import (
+    location_point,
+    resolve_location,
+    source_anchors,
+)
+from repro.query.results import KNNResult, Neighbor
+from repro.query.stats import QueryStats
+from repro.silc.intervals import DistanceInterval
+
+
+@dataclass
+class RouterStats:
+    """Counted routing operations, accumulated across queries.
+
+    ``shards_considered`` counts every populated shard per query;
+    each is then either visited or pruned, so ``shards_visited +
+    shards_pruned == shards_considered`` always holds.
+    ``bound_probes`` counts lambda-bound quadtree probes (the router's
+    extra index work); ``duplicates_merged`` counts candidates
+    reported by more than one shard (boundary-straddling objects).
+    """
+
+    queries: int = 0
+    shards_considered: int = 0
+    shards_visited: int = 0
+    shards_pruned_euclid: int = 0
+    shards_pruned_lambda: int = 0
+    bound_probes: int = 0
+    candidates: int = 0
+    duplicates_merged: int = 0
+
+    @property
+    def shards_pruned(self) -> int:
+        return self.shards_pruned_euclid + self.shards_pruned_lambda
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of considered shards pruned without a worker visit."""
+        if self.shards_considered == 0:
+            return 0.0
+        return self.shards_pruned / self.shards_considered
+
+
+class PartitionRouter:
+    """Routes kNN queries to shard workers, pruning by distance bound.
+
+    Parameters
+    ----------
+    index:
+        The parent process's full :class:`~repro.silc.SILCIndex`; the
+        router probes it (with ``account=False``) for lambda bounds.
+    shard_map:
+        The :class:`~repro.shard.partitioner.ShardMap` the workers
+        were built from.
+    workers:
+        ``{shard_id: worker}`` for every shard holding objects; each
+        worker needs a thread-safe
+        ``knn(position, k, variant) -> ([(oid, distance), ...], QueryStats)``.
+    has_edge:
+        Per-shard flag: True when the shard holds any edge-positioned
+        part, which restricts it to the Euclidean bound.
+    object_counts:
+        Per-shard object counts (reporting only).
+
+    Thread safety: the router holds no per-query mutable state; the
+    stats counters are updated under a lock, and each worker handle
+    serializes its own pipe.  Any number of serving threads may call
+    :meth:`knn` concurrently -- that is precisely how the process
+    parallelism is harvested.
+    """
+
+    def __init__(
+        self,
+        index,
+        shard_map,
+        workers: dict,
+        has_edge: list[bool],
+        object_counts: list[int],
+    ) -> None:
+        self.index = index
+        self.network = index.network
+        self.embedding = index.embedding
+        self.shard_map = shard_map
+        self.workers = dict(workers)
+        self.has_edge = list(has_edge)
+        self.object_counts = list(object_counts)
+        #: Global lower-bound slope: network distance >= slope * Euclidean.
+        self._slope = min(self.network.min_euclidean_ratio(), float("inf"))
+        self._cover_blocks = {
+            shard: shard_map.cover_blocks(shard) for shard in self.workers
+        }
+        self._cover_rects = {
+            shard: [
+                self.embedding.block_world_rect(code, level)
+                for code, level in blocks
+            ]
+            for shard, blocks in self._cover_blocks.items()
+        }
+        self.stats = RouterStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def euclid_bound(self, shard: int, point) -> float:
+        """Euclidean lower bound on the distance to anything in ``shard``."""
+        rects = self._cover_rects[shard]
+        mindist = min(r.min_distance_to_point(point) for r in rects)
+        return self._slope * mindist
+
+    def lambda_prunable(
+        self, shard: int, anchors, point, bound: float
+    ) -> tuple[bool, int]:
+        """Can ``shard`` be skipped given the current k-th distance?
+
+        Per cover block, an object in the block is at least
+        ``max(lambda(block), slope * MINDIST(point, block))`` away; the
+        shard is prunable when that exceeds ``bound`` for *every*
+        block.  Two shortcuts keep this cheap: blocks already past the
+        Euclidean bound skip their quadtree probes entirely, and the
+        scan stops at the first block that cannot be pruned (the
+        common case for nearby shards).  Returns ``(prunable,
+        quadtree_probes)``.  Sound only for shards whose objects are
+        all vertex-positioned -- the lambda term bounds distances to
+        *vertices*.
+        """
+        probes = 0
+        for (code, level), rect in zip(
+            self._cover_blocks[shard], self._cover_rects[shard]
+        ):
+            if self._slope * rect.min_distance_to_point(point) > bound:
+                continue
+            lam = math.inf
+            for anchor, offset in anchors:
+                lam = min(
+                    lam,
+                    offset
+                    + self.index.block_lower_bound(
+                        anchor, code, level, account=False
+                    ),
+                )
+                probes += 1
+                if lam <= bound:
+                    return False, probes
+            if lam <= bound:
+                return False, probes
+        return True, probes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(self, query, k: int, variant: str = "knn") -> KNNResult:
+        """One exact kNN query over the sharded object set.
+
+        ``query`` accepts the same forms as
+        :meth:`repro.engine.QueryEngine.knn` (vertex id, network
+        position, or free :class:`~repro.geometry.point.Point`);
+        ``variant`` picks each worker's search strategy and never
+        changes the answer (workers always refine to exact distances,
+        in network-weight units).  The result is sorted by
+        ``(distance, oid)``.
+        """
+        position = resolve_location(self.network, query)
+        point = location_point(self.network, position)
+        anchors = source_anchors(self.network, position)
+
+        order = sorted(
+            (self.euclid_bound(shard, point), shard) for shard in self.workers
+        )
+        candidates: dict[int, float] = {}
+        worker_stats: list[QueryStats] = []
+        visited = pruned_e = pruned_l = probes = duplicates = 0
+
+        def dk() -> float:
+            if len(candidates) < k:
+                return math.inf
+            return sorted(candidates.values())[k - 1]
+
+        for i, (euclid, shard) in enumerate(order):
+            bound = dk()
+            if euclid > bound:
+                # Bounds are visited in ascending Euclidean order and
+                # Dk only shrinks: every remaining shard is pruned too.
+                pruned_e += len(order) - i
+                break
+            if not math.isinf(bound) and not self.has_edge[shard]:
+                prunable, n = self.lambda_prunable(shard, anchors, point, bound)
+                probes += n
+                if prunable:
+                    pruned_l += 1
+                    continue
+            # The current global Dk caps the worker's search: a shard
+            # that cannot improve the answer returns almost instantly
+            # instead of grinding through a full local search.
+            pairs, stats = self.workers[shard].knn(position, k, variant, bound)
+            visited += 1
+            worker_stats.append(stats)
+            for oid, distance in pairs:
+                if oid in candidates:
+                    duplicates += 1
+                    candidates[oid] = min(candidates[oid], distance)
+                else:
+                    candidates[oid] = distance
+
+        top = sorted(candidates.items(), key=lambda item: (item[1], item[0]))[:k]
+        neighbors = [
+            Neighbor(oid, DistanceInterval.exact(d), distance=d)
+            for oid, d in top
+        ]
+        merged = reduce(QueryStats.merge, worker_stats, QueryStats())
+        merged.extras["shards_considered"] = len(order)
+        merged.extras["shards_visited"] = visited
+        merged.extras["shards_pruned"] = pruned_e + pruned_l
+        with self._stats_lock:
+            s = self.stats
+            s.queries += 1
+            s.shards_considered += len(order)
+            s.shards_visited += visited
+            s.shards_pruned_euclid += pruned_e
+            s.shards_pruned_lambda += pruned_l
+            s.bound_probes += probes
+            s.candidates += len(candidates)
+            s.duplicates_merged += duplicates
+        return KNNResult(neighbors=neighbors, stats=merged, ordered=True)
+
+    def knn_batch(
+        self, queries: Iterable, k: int, variant: str = "knn"
+    ) -> BatchResult:
+        """Answer a batch through :meth:`knn`, merging per-query stats."""
+        t_start = perf_counter()
+        results = [self.knn(query, k, variant=variant) for query in queries]
+        stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())
+        return BatchResult(
+            results=results, stats=stats, elapsed=perf_counter() - t_start
+        )

@@ -1,0 +1,321 @@
+"""Long-lived shard worker processes and the group that runs them.
+
+Each shard is served by one worker *process* -- its own interpreter,
+so the pure-Python best-first search of different shards genuinely
+overlaps (threads cannot do that; they share one GIL).  A worker
+
+* loads the sharded index with its shard as ``primary`` (resident)
+  and every other shard memory-mapped -- cross-shard probes fault in
+  pages the OS page cache shares with the worker owning them;
+* indexes only *its* objects, so its search space is the shard's
+  slice of the object set;
+* answers a tiny request/response pipe protocol, always with exact
+  distances (the router merges candidates by comparing them).
+
+Pipe protocol (one pickled tuple per message, strictly
+request/response)::
+
+    ("ping",)                           -> ("pong", shard_id)
+    ("knn", position, k, variant, cap)  -> ("ok", [(oid, distance), ...], QueryStats)
+    ("stop",)                           -> worker exits (no response)
+    any failure                         -> ("error", "ExcType: message")
+
+``cap`` is the router's current global k-th distance (``inf`` until k
+candidates exist): the worker may omit anything farther, which makes
+visits to shards that cannot improve the answer nearly free.
+
+:class:`ShardGroup` bundles partitioning, the sharded save, worker
+spawning and the :class:`~repro.shard.router.PartitionRouter` behind
+the ``knn``/``knn_batch`` surface the serving layer calls.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.objects.index import ObjectIndex
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.shard.partitioner import ShardMap, split_objects
+from repro.shard.router import PartitionRouter
+
+#: Fork keeps the already-parsed network and object payloads shared
+#: with the parent; spawn re-pickles them (both work -- the payloads
+#: are plain dataclasses).
+_START_METHOD = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _shard_worker_main(
+    conn,
+    directory: str,
+    network,
+    shard_id: int,
+    objects: list[SpatialObject],
+    storage_options: dict | None,
+) -> None:
+    """Entry point of one shard worker process."""
+    from repro.engine import QueryEngine
+    from repro.silc.index import SILCIndex
+
+    try:
+        index = SILCIndex.load_sharded(
+            directory, network, primary=shard_id, mmap=True
+        )
+        object_index = ObjectIndex(network, ObjectSet(objects), index.embedding)
+        storage = None
+        if storage_options:
+            from repro.storage.concurrent import ShardedStorageSimulator
+
+            storage = ShardedStorageSimulator.for_table_sizes(
+                index.store.sizes.tolist(), **storage_options
+            )
+        engine = QueryEngine(index, object_index, storage=storage)
+    except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+        try:
+            conn.send(
+                (
+                    "error",
+                    f"shard {shard_id} failed to start: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "ping":
+                conn.send(("pong", shard_id))
+            elif kind == "knn":
+                _, position, k, variant, cap = msg
+                result = engine.knn(
+                    position, k, variant=variant, exact=True, max_distance=cap
+                )
+                conn.send(
+                    (
+                        "ok",
+                        [(n.oid, n.distance) for n in result.neighbors],
+                        result.stats,
+                    )
+                )
+            else:
+                conn.send(("error", f"unknown request kind: {kind!r}"))
+        except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ShardWorker:
+    """Parent-side handle of one shard worker process.
+
+    A lock serializes the send/receive pair, so any number of serving
+    threads can share the handle; different workers have independent
+    locks (and pipes), which is exactly where the parallelism comes
+    from.
+    """
+
+    def __init__(self, shard_id: int, process, conn) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self._lock = threading.Lock()
+
+    def request(self, message: tuple):
+        """One request/response round trip (thread-safe)."""
+        with self._lock:
+            self.conn.send(message)
+            try:
+                response = self.conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"shard worker {self.shard_id} died mid-request"
+                ) from None
+        if response[0] == "error":
+            raise RuntimeError(response[1])
+        return response
+
+    def ping(self) -> int:
+        """Round trip a ping; returns the worker's shard id."""
+        return self.request(("ping",))[1]
+
+    def knn(self, position, k: int, variant: str, cap: float = float("inf")):
+        """The shard's k nearest of its own objects, with exact distances.
+
+        ``cap`` lets the worker omit objects farther than the caller's
+        current global bound.  Returns
+        ``([(oid, distance), ...], QueryStats)``.
+        """
+        response = self.request(("knn", position, k, variant, cap))
+        return response[1], response[2]
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the process to exit; escalate to terminate if it won't."""
+        try:
+            with self._lock:
+                self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        self.conn.close()
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+class ShardGroup:
+    """The sharded serving tier: partition, save, spawn, route.
+
+    Build one with :meth:`from_engine`; then :meth:`knn` and
+    :meth:`knn_batch` answer queries through the partition router and
+    the worker processes, with results identical to the unsharded
+    engine's exact path.  Always close (or use as a context manager):
+    the workers are real processes.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        workers: dict[int, ShardWorker],
+        router: PartitionRouter,
+        directory: Path,
+        owns_directory: bool,
+    ) -> None:
+        self.shard_map = shard_map
+        self.workers = workers
+        self.router = router
+        self.directory = directory
+        self._owns_directory = owns_directory
+        self._closed = False
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        num_shards: int,
+        directory: str | Path | None = None,
+        worker_storage: dict | None = None,
+    ) -> "ShardGroup":
+        """Shard a :class:`~repro.engine.QueryEngine`'s index and objects.
+
+        Partitions the network into ``num_shards`` Morton ranges,
+        writes the sharded store layout under ``directory`` (a private
+        temporary directory by default, removed on :meth:`close`),
+        spawns one worker process per shard that holds objects, pings
+        each (so construction only returns once every worker has its
+        slice mapped), and fronts them with a
+        :class:`~repro.shard.router.PartitionRouter` that prunes with
+        the parent's own index.
+
+        ``worker_storage`` (e.g. ``{"cache_fraction": 0.05,
+        "sleep_per_miss": 8e-4}``) gives every worker its own storage
+        simulator -- the benchmark's disk-resident regime.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        index = engine.index
+        network = index.network
+        objects = engine.object_index.objects
+        shard_map = ShardMap.from_index(index, num_shards)
+        owns_directory = directory is None
+        if owns_directory:
+            directory = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+        else:
+            directory = Path(directory)
+        index.save_sharded(directory, shard_map)
+        per_shard, has_edge = split_objects(
+            network, objects, index.embedding, shard_map
+        )
+        ctx = mp.get_context(_START_METHOD)
+        workers: dict[int, ShardWorker] = {}
+        try:
+            for shard in range(num_shards):
+                if not per_shard[shard]:
+                    continue
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        child_conn,
+                        str(directory),
+                        network,
+                        shard,
+                        per_shard[shard],
+                        worker_storage,
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                process.start()
+                child_conn.close()
+                workers[shard] = ShardWorker(shard, process, parent_conn)
+            for worker in workers.values():
+                worker.ping()
+        except BaseException:
+            for worker in workers.values():
+                worker.stop()
+            if owns_directory:
+                shutil.rmtree(directory, ignore_errors=True)
+            raise
+        router = PartitionRouter(
+            index,
+            shard_map,
+            workers,
+            has_edge=has_edge,
+            object_counts=[len(objs) for objs in per_shard],
+        )
+        return cls(shard_map, workers, router, directory, owns_directory)
+
+    # ------------------------------------------------------------------
+    # Query surface (mirrors QueryEngine's)
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    @property
+    def stats(self):
+        """The router's accumulated :class:`RouterStats`."""
+        return self.router.stats
+
+    def knn(self, query, k: int, variant: str = "knn"):
+        """One kNN query, scatter-gathered across the shard workers."""
+        return self.router.knn(query, k, variant=variant)
+
+    def knn_batch(self, queries: Iterable, k: int, variant: str = "knn"):
+        """A batch of kNN queries (sequential; parallelism comes from
+        concurrent callers, e.g. the serving layer's dispatch threads)."""
+        return self.router.knn_batch(queries, k, variant=variant)
+
+    def ping(self) -> list[int]:
+        """Round trip every worker; returns the live shard ids."""
+        return [worker.ping() for worker in self.workers.values()]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker process and clean up the owned directory."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers.values():
+            worker.stop()
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "ShardGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -39,7 +39,7 @@ from repro.silc.parallel import parallel_block_tables, resolve_workers
 from repro.silc.intervals import DistanceInterval
 from repro.silc.refinement import RefinableDistance, RefinementCounter
 from repro.silc.sp_quadtree import SPQuadtreeBuilder, choose_grid_order
-from repro.silc.store import COLUMNS, FlatStore
+from repro.silc.store import COLUMNS, FlatStore, ShardedFlatStore
 from repro.storage.simulator import StorageSimulator
 
 #: Relative padding applied to interval bounds so that float round-off
@@ -55,12 +55,15 @@ class SILCIndex:
         network: SpatialNetwork,
         embedding: GridEmbedding,
         vertex_codes: np.ndarray,
-        tables: list[BlockTable] | FlatStore,
+        tables: "list[BlockTable] | FlatStore | ShardedFlatStore",
     ) -> None:
-        if isinstance(tables, FlatStore):
-            store = tables
-        else:
+        if isinstance(tables, list):
             store = FlatStore.from_tables(tables)
+        else:
+            # Any object with the FlatStore read surface works here:
+            # the plain store, or a ShardedFlatStore stitched from
+            # per-shard slices by load_sharded.
+            store = tables
         if store.num_tables != network.num_vertices:
             raise ValueError(
                 f"{store.num_tables} tables for {network.num_vertices} vertices"
@@ -270,15 +273,23 @@ class SILCIndex:
     # ------------------------------------------------------------------
     # Block-level lower bounds (for the object-index traversal)
     # ------------------------------------------------------------------
-    def block_lower_bound(self, source: int, code: int, level: int) -> float:
+    def block_lower_bound(
+        self, source: int, code: int, level: int, account: bool = True
+    ) -> float:
         """Lower bound on the network distance from ``source`` to any
         *vertex* inside the Morton block ``(code, level)``.
 
         Implements the paper's DISTANCE_INTERVAL(object, Region)
         primitive: intersect the block with the source's shortest-path
         quadtree and take the best ``lambda_min * MINDIST`` over the
-        overlapping pieces.  Returns ``inf`` when the block contains no
-        network vertex at all.
+        overlapping pieces (distances in network-weight units, the same
+        units as edge weights).  Returns ``inf`` when the block
+        contains no network vertex at all.
+
+        ``account=False`` skips the storage-simulator page accounting:
+        the partition router computes shard bounds from serving
+        threads that must not touch a non-concurrent simulator, and
+        its probes are counted separately in its own stats.
         """
         self.network.check_vertex(source)
         table = self.tables[source]
@@ -287,7 +298,7 @@ class SILCIndex:
         rows = table.overlapping(lo_code, hi_code)
         if len(rows) == 0:
             return float("inf")
-        if self.storage is not None:
+        if self.storage is not None and account:
             self.storage.touch_range(source, rows.start, rows.stop)
         px = self._xf[source]
         py = self._yf[source]
@@ -412,3 +423,87 @@ class SILCIndex:
             int(get("embedding_order")[0]),
         )
         return cls(network, embedding, np.asarray(get("vertex_codes")), store)
+
+    # ------------------------------------------------------------------
+    # Sharded serialization (the process-parallel serving layout)
+    # ------------------------------------------------------------------
+    def save_sharded(self, path, shard_map) -> None:
+        """Write the index as per-shard slices of the flat store.
+
+        The directory gets the shared metadata (vertex codes,
+        embedding, global per-vertex sizes, and the shard map's
+        boundaries/assignment) plus one ``shard_NNNN/`` subdirectory
+        per shard (see :meth:`FlatStore.save_shard`).  Shard worker
+        processes each :meth:`load_sharded` the *same* directory with
+        a different ``primary``, so every column page on disk is
+        mapped -- and cached by the OS -- once, no matter how many
+        workers serve it.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "vertex_codes.npy", self.vertex_codes)
+        np.save(
+            directory / "embedding_bounds.npy",
+            np.array(
+                [
+                    self.embedding.bounds.xmin,
+                    self.embedding.bounds.ymin,
+                    self.embedding.bounds.xmax,
+                    self.embedding.bounds.ymax,
+                ]
+            ),
+        )
+        np.save(directory / "embedding_order.npy", np.array([self.embedding.order]))
+        np.save(directory / "sizes.npy", self.store.sizes.astype(np.int64))
+        np.save(directory / "shard_boundaries.npy", shard_map.boundaries)
+        np.save(directory / "shard_assign.npy", shard_map.assign)
+        for shard in range(shard_map.num_shards):
+            self.store.save_shard(directory, shard, shard_map.vertices(shard))
+
+    @classmethod
+    def load_sharded(
+        cls,
+        path,
+        network: SpatialNetwork,
+        primary: int | None = None,
+        mmap: bool = True,
+    ) -> "SILCIndex":
+        """Restore a :meth:`save_sharded` index with full coverage.
+
+        Every shard's tables are available (queries routinely walk
+        shortest paths across shard boundaries), stitched into a
+        :class:`~repro.silc.store.ShardedFlatStore`.  ``primary``
+        names the one shard loaded eagerly into private memory -- the
+        calling worker's resident hot set; all other shards are
+        memory-mapped (``mmap=True``, the default) so their pages
+        fault in on demand and are shared across worker processes by
+        the OS page cache.  ``mmap=False`` loads everything eagerly
+        and validates the store invariants, like a plain
+        :meth:`load`.
+        """
+        directory = Path(path)
+        assign = np.load(directory / "shard_assign.npy")
+        num_shards = int(np.load(directory / "shard_boundaries.npy").size - 1)
+        if primary is not None and not (0 <= primary < num_shards):
+            raise ValueError(
+                f"primary shard {primary} out of range ({num_shards} shards)"
+            )
+        shards: list[FlatStore] = []
+        local_index = np.zeros(assign.size, dtype=np.int64)
+        for shard in range(num_shards):
+            vertices, fragment = FlatStore.load_shard(
+                directory, shard, mmap=mmap and shard != primary
+            )
+            local_index[vertices] = np.arange(vertices.size, dtype=np.int64)
+            shards.append(fragment)
+        store = ShardedFlatStore(shards, assign, local_index)
+        if not mmap:
+            store.validate()
+        b = np.load(directory / "embedding_bounds.npy")
+        embedding = GridEmbedding(
+            Rect(float(b[0]), float(b[1]), float(b[2]), float(b[3])),
+            int(np.load(directory / "embedding_order.npy")[0]),
+        )
+        return cls(
+            network, embedding, np.load(directory / "vertex_codes.npy"), store
+        )

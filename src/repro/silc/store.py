@@ -24,6 +24,7 @@ The layout is what makes the rest of the zero-copy pipeline possible:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -235,3 +236,161 @@ class FlatStore:
     def column_arrays(self) -> dict[str, np.ndarray]:
         """The five columns keyed by canonical name (no copies)."""
         return {name: getattr(self, name) for name in COLUMNS}
+
+    # ------------------------------------------------------------------
+    # Per-shard slices
+    # ------------------------------------------------------------------
+    def save_shard(
+        self, directory: str | Path, shard: int, vertices: np.ndarray
+    ) -> Path:
+        """Write the given vertices' rows as one shard subdirectory.
+
+        The slice lands in ``<directory>/<shard_dirname(shard)>/`` as
+        the shard's global vertex ids (``vertices.npy``), its *local*
+        offset array, and the five column files -- the same raw-``.npy``
+        layout as a full directory save, so :meth:`load_shard` can
+        memory-map it.  A shard worker process then faults in only its
+        own slice's pages; slices of other shards mapped from the same
+        files are shared across processes through the OS page cache.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        sub = Path(directory) / shard_dirname(shard)
+        sub.mkdir(parents=True, exist_ok=True)
+        sizes = self.sizes[vertices]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        np.save(sub / "vertices.npy", vertices)
+        np.save(sub / "offsets.npy", offsets)
+        starts = self.offsets[vertices]
+        for name in COLUMNS:
+            col = getattr(self, name)
+            out = np.empty(int(offsets[-1]), dtype=COLUMN_DTYPES[name])
+            for i in range(vertices.size):
+                lo = int(starts[i])
+                out[offsets[i] : offsets[i + 1]] = col[lo : lo + int(sizes[i])]
+            np.save(sub / f"{name}.npy", out)
+        return sub
+
+    @classmethod
+    def load_shard(
+        cls, directory: str | Path, shard: int, mmap: bool = False
+    ) -> tuple[np.ndarray, "FlatStore"]:
+        """Load one shard subdirectory written by :meth:`save_shard`.
+
+        Returns ``(vertices, store)``: the shard's global vertex ids
+        and a :class:`FlatStore` over its *local* tables (table ``i``
+        belongs to global vertex ``vertices[i]``).  With ``mmap=True``
+        the column files are memory-mapped read-only, so loading costs
+        O(vertices-in-shard) bytes and column pages fault in on demand
+        -- and are shared with every other process mapping the same
+        files.
+        """
+        sub = Path(directory) / shard_dirname(shard)
+        mode = "r" if mmap else None
+        vertices = np.load(sub / "vertices.npy")
+        offsets = np.load(sub / "offsets.npy")
+        columns = {
+            name: np.load(sub / f"{name}.npy", mmap_mode=mode)
+            for name in COLUMNS
+        }
+        return vertices, cls(offsets, **columns)
+
+
+def shard_dirname(shard: int) -> str:
+    """Subdirectory name of one shard inside a sharded index save."""
+    if shard < 0:
+        raise ValueError(f"shard id must be non-negative: {shard}")
+    return f"shard_{shard:04d}"
+
+
+class ShardedFlatStore:
+    """A full-coverage store stitched from per-shard slices.
+
+    Implements the read surface of :class:`FlatStore` (``num_tables``,
+    ``sizes``, ``table``, ``views``, ``column_arrays``, ...) over N
+    per-shard :class:`FlatStore` fragments plus a global vertex ->
+    (shard, local index) mapping.  A shard worker loads its *primary*
+    shard eagerly (its resident hot set) and every other shard
+    memory-mapped: queries overwhelmingly probe primary-shard tables,
+    and the occasional cross-shard probe faults pages that the OS page
+    cache shares with the workers owning them.
+    """
+
+    __slots__ = ("shards", "shard_of", "local_index", "_sizes")
+
+    def __init__(
+        self,
+        shards: list[FlatStore],
+        shard_of: np.ndarray,
+        local_index: np.ndarray,
+    ) -> None:
+        self.shards = list(shards)
+        self.shard_of = np.asarray(shard_of, dtype=np.int64)
+        self.local_index = np.asarray(local_index, dtype=np.int64)
+        if self.shard_of.shape != self.local_index.shape:
+            raise ValueError("shard_of and local_index must align")
+        sizes = np.empty(self.shard_of.size, dtype=np.int64)
+        for s, fragment in enumerate(self.shards):
+            members = np.flatnonzero(self.shard_of == s)
+            if members.size != fragment.num_tables:
+                raise ValueError(
+                    f"shard {s} holds {fragment.num_tables} tables for "
+                    f"{members.size} assigned vertices"
+                )
+            sizes[members] = fragment.sizes[self.local_index[members]]
+        self._sizes = sizes
+
+    # ------------------------------------------------------------------
+    # FlatStore read surface
+    # ------------------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        return int(self.shard_of.size)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._sizes
+
+    @property
+    def total_blocks(self) -> int:
+        return int(self._sizes.sum())
+
+    def nbytes(self) -> int:
+        return sum(fragment.nbytes() for fragment in self.shards)
+
+    def table(self, v: int) -> BlockTable:
+        fragment = self.shards[self.shard_of[v]]
+        return fragment.table(int(self.local_index[v]))
+
+    def views(self) -> list[BlockTable]:
+        return [self.table(v) for v in range(self.num_tables)]
+
+    def iter_tables(self) -> Iterator[BlockTable]:
+        for v in range(self.num_tables):
+            yield self.table(v)
+
+    def column_arrays(self) -> dict[str, np.ndarray]:
+        """The five columns re-concatenated in global vertex order.
+
+        Unlike :meth:`FlatStore.column_arrays` this *copies* (the rows
+        live scattered across shard fragments); it exists so a
+        shard-loaded index can still be re-saved in the plain layouts.
+        """
+        out = {
+            name: np.empty(self.total_blocks, dtype=COLUMN_DTYPES[name])
+            for name in COLUMNS
+        }
+        offsets = np.concatenate([[0], np.cumsum(self._sizes)]).astype(np.int64)
+        for v in range(self.num_tables):
+            fragment = self.shards[self.shard_of[v]]
+            li = int(self.local_index[v])
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            flo = int(fragment.offsets[li])
+            for name in COLUMNS:
+                out[name][lo:hi] = getattr(fragment, name)[flo : flo + hi - lo]
+        return out
+
+    def validate(self) -> "ShardedFlatStore":
+        """Per-fragment invariant check (see :meth:`FlatStore.validate`)."""
+        for fragment in self.shards:
+            fragment.validate()
+        return self

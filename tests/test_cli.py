@@ -150,6 +150,31 @@ class TestServe:
         ]
         assert served["distances"] == pytest.approx(cli_dists, rel=1e-5)
 
+    def test_sharded_serve_matches_unsharded(self, built, tmp_path, capsys):
+        net_path, idx_path = built
+        infile = tmp_path / "requests.jsonl"
+        requests = [
+            {"id": i, "kind": "knn", "query": q, "k": 3}
+            for i, q in enumerate([0, 5, 37])
+        ]
+        infile.write_text("\n".join(json.dumps(r) for r in requests) + "\n")
+        main(["serve", str(net_path), str(idx_path),
+              "--objects", "20", "--seed", "1", "--input", str(infile)])
+        plain = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        rc = main(["serve", str(net_path), str(idx_path),
+                   "--objects", "20", "--seed", "1", "--shards", "2",
+                   "--input", str(infile)])
+        assert rc == 0
+        sharded = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        plain_by_id = {r["id"]: r for r in plain}
+        for record in sharded:
+            assert record["status"] == "ok"
+            expected = plain_by_id[record["id"]]
+            assert record["ids"] == expected["ids"]
+            assert record["distances"] == pytest.approx(
+                expected["distances"], rel=1e-5
+            )
+
     def test_rejects_past_in_flight_cap(self, built, tmp_path, capsys):
         net_path, idx_path = built
         infile = tmp_path / "requests.jsonl"

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repository's markdown files.
+
+Scans README.md and everything under docs/ for markdown links
+(``[text](target)``), resolves relative targets against the linking
+file's directory, and exits nonzero listing every target that does
+not exist.  External (``http(s)``, ``mailto:``) and pure-anchor
+(``#...``) links are skipped; fragments are stripped before the
+existence check.  Run from anywhere:
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links; the target group stops at the closing paren
+#: (no nested-paren targets in this repository).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    """Dead-link messages for one markdown file."""
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: dead link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = [p for f in markdown_files() for p in check_file(f)]
+    if problems:
+        print("\n".join(problems))
+        print(f"{len(problems)} dead link(s)")
+        return 1
+    print(f"checked {len(markdown_files())} markdown file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
