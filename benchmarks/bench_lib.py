@@ -68,20 +68,23 @@ def cached_index(n: int, seed: int = BENCH_SEED, workers: int = BENCH_WORKERS):
 
 def record_build_time(
     n: int, seed: int, workers: int, chunk_size: int, seconds: float,
-    shards: int = 1,
+    shards: int = 1, oracle: str = "silc",
 ) -> None:
     """Append one build timing to ``results/build_times.txt``.
 
     The file accumulates across runs (one line per fresh build), so
     the precompute-cost trajectory of the repo can be tracked from PR
     to PR without re-running old revisions.  ``shards`` tags runs of
-    the sharded serving benchmarks (1 = unsharded) so they trend in
-    their own rows of ``repro bench-report``.
+    the sharded serving benchmarks (1 = unsharded) and ``oracle``
+    names the precompute that was timed (``labels`` for the
+    pruned-landmark build), so each trends in its own rows of
+    ``repro bench-report``.
     """
     append_build_time(
         n, seed, workers, chunk_size, seconds,
         path=RESULTS_DIR / "build_times.txt",
         shards=shards,
+        oracle=oracle,
     )
 
 

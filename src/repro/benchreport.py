@@ -3,11 +3,13 @@
 Every fresh benchmark index build appends one line to that file (see
 :func:`append_build_time`)::
 
-    2026-07-29T14:30:10 n=3000 seed=42 workers=1 chunk_size=256 shards=1 seconds=5.162
+    2026-07-29T14:30:10 n=3000 seed=42 workers=1 chunk_size=256 shards=1 oracle=silc seconds=5.162
 
-Older lines predate the ``chunk_size`` and ``shards`` fields and parse
-with those set to ``None``.  ``shards`` records the spatial shard
-count of sharded-serving runs, so they accumulate their own trajectory
+Older lines predate the ``chunk_size``, ``shards`` and ``oracle``
+fields and parse with those set to ``None``.  ``shards`` records the
+spatial shard count of sharded-serving runs, and ``oracle`` which
+precompute the timing measures (``silc`` quadtrees vs ``labels``
+pruned-landmark labelling), so each accumulates its own trajectory
 rows instead of overwriting the ``workers`` history.  This module
 parses the accumulated history and renders the per-configuration
 trajectory table behind the ``repro bench-report`` CLI subcommand --
@@ -43,6 +45,9 @@ class BuildRecord:
     #: Spatial shard processes of the recorded run (None on legacy
     #: lines that predate the field; 1 means unsharded).
     shards: int | None = None
+    #: Which precompute was timed (None on legacy lines; "silc" is
+    #: the quadtree build, "labels" the pruned-landmark labelling).
+    oracle: str | None = None
 
 
 def append_build_time(
@@ -53,14 +58,16 @@ def append_build_time(
     seconds: float,
     path: str | Path = DEFAULT_PATH,
     shards: int = 1,
+    oracle: str = "silc",
 ) -> None:
     """Append one build timing line to the (append-only) history file.
 
     Shared by the benchmark fixtures and ``repro build --record``, so
     the trajectory accumulates from both suites and operational builds
     without re-running old revisions.  ``shards`` tags runs of the
-    sharded serving tier (1 = unsharded) so their timings land in
-    their own trajectory rows.
+    sharded serving tier (1 = unsharded) and ``oracle`` names the
+    precompute that was timed, so each lands in its own trajectory
+    rows.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -68,7 +75,8 @@ def append_build_time(
     with path.open("a") as f:
         f.write(
             f"{stamp} n={n} seed={seed} workers={workers} "
-            f"chunk_size={chunk_size} shards={shards} seconds={seconds:.3f}\n"
+            f"chunk_size={chunk_size} shards={shards} oracle={oracle} "
+            f"seconds={seconds:.3f}\n"
         )
 
 
@@ -98,6 +106,7 @@ def parse_build_times(text: str) -> list[BuildRecord]:
                     seconds=float(fields["seconds"]),
                     chunk_size=None if chunk is None else int(chunk),
                     shards=None if shards is None else int(shards),
+                    oracle=fields.get("oracle"),
                 )
             )
         except (IndexError, KeyError, ValueError) as exc:
@@ -106,31 +115,32 @@ def parse_build_times(text: str) -> list[BuildRecord]:
 
 
 def format_report(records: list[BuildRecord]) -> str:
-    """The trajectory table: one row per (n, workers, chunk, shards) config.
+    """The trajectory: one row per (n, workers, chunk, shards, oracle).
 
     ``first``/``latest`` are in file order (the file is append-only,
     so file order is trajectory order); ``best``/``median`` summarize
     the whole history of that configuration.  Lines predating the
-    ``chunk_size`` or ``shards`` fields render a ``-`` in those
-    columns.
+    ``chunk_size``, ``shards`` or ``oracle`` fields render a ``-`` in
+    those columns.
     """
     if not records:
         return "no build timings recorded yet"
-    groups: dict[tuple[int, int, int, int], list[BuildRecord]] = {}
+    groups: dict[tuple[int, int, int, int, str], list[BuildRecord]] = {}
     for r in records:
         key = (
             r.n,
             r.workers,
             -1 if r.chunk_size is None else r.chunk_size,
             -1 if r.shards is None else r.shards,
+            "-" if r.oracle is None else r.oracle,
         )
         groups.setdefault(key, []).append(r)
     header = (
-        "n", "workers", "chunk", "shards",
+        "n", "workers", "chunk", "shards", "oracle",
         "builds", "first_s", "latest_s", "best_s", "median_s",
     )
     rows = []
-    for (n, workers, chunk, shards), rs in sorted(groups.items()):
+    for (n, workers, chunk, shards, oracle), rs in sorted(groups.items()):
         secs = [r.seconds for r in rs]
         rows.append(
             (
@@ -138,6 +148,7 @@ def format_report(records: list[BuildRecord]) -> str:
                 str(workers),
                 "-" if chunk < 0 else str(chunk),
                 "-" if shards < 0 else str(shards),
+                oracle,
                 str(len(rs)),
                 f"{secs[0]:.3f}",
                 f"{secs[-1]:.3f}",

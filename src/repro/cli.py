@@ -5,23 +5,29 @@ writing Python -- generate networks, run the precompute, persist the
 index, and answer queries from the shell::
 
     python -m repro generate --kind road --size 1000 --seed 7 net.txt
-    python -m repro build net.txt index.npz --workers 0
-    python -m repro stats net.txt index.npz
-    python -m repro path net.txt index.npz 0 250
-    python -m repro knn net.txt index.npz --query 0 --k 5 --objects 40
-    python -m repro serve net.txt index.npz --objects 40 < requests.jsonl
+    python -m repro build net.txt index.dir --workers 0
+    python -m repro build-labels net.txt index.dir
+    python -m repro stats net.txt index.dir
+    python -m repro path net.txt index.dir 0 250
+    python -m repro knn net.txt index.dir --query 0 --k 5 --objects 40
+    python -m repro serve net.txt index.dir --objects 40 < requests.jsonl
     python -m repro bench-report
 
 ``build --workers`` fans the per-source precompute across a process
 pool (0 = one worker per CPU; chunk results travel through shared
-memory, not pickle); ``knn`` accepts ``--query`` repeatedly and
-answers the whole batch through one :class:`~repro.engine.QueryEngine`;
-``serve`` runs the asyncio serving layer as a stdin/stdout JSON-lines
-loop (one request object per line; see :mod:`repro.serve.protocol`).
+memory, not pickle); ``build-labels`` adds the pruned-landmark
+labelling backend (columns in ``<index>/labels/``, plus a calibrated
+planner cost model); ``knn`` accepts ``--query`` repeatedly and
+answers the whole batch through one :class:`~repro.engine.QueryEngine`
+(``--oracle`` picks the backend, ``--epsilon`` relaxes to
+(1+eps)-approximate answers); ``serve`` runs the asyncio serving
+layer as a stdin/stdout JSON-lines loop (one request object per line;
+see :mod:`repro.serve.protocol`).
 
 Index paths ending in ``.npz`` use the compressed archive layout; any
 other path is a *directory* of raw ``.npy`` columns, which the query
-commands can open zero-copy with ``--mmap``.
+commands can open zero-copy with ``--mmap`` (and which is the layout
+that can carry the labelling columns alongside the quadtree store).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import argparse
 import asyncio
 import sys
 import time
+from pathlib import Path
 
 from repro.benchreport import DEFAULT_PATH as BUILD_TIMES_PATH
 from repro.benchreport import append_build_time, report_file
@@ -43,6 +50,13 @@ from repro.network import (
     save_text,
 )
 from repro.objects import ObjectIndex
+from repro.oracle import (
+    LABELS_SUBDIR,
+    ORACLE_CHOICES,
+    CostConstants,
+    PrunedLabellingOracle,
+    QueryPlanner,
+)
 from repro.silc import SILCIndex
 
 
@@ -108,6 +122,84 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _labels_dir(index_path) -> Path | None:
+    """Where a directory-layout index keeps its labelling (None for .npz)."""
+    path = Path(index_path)
+    if path.suffix == ".npz":
+        return None
+    return path / LABELS_SUBDIR
+
+
+def _load_labelling(args, net):
+    """Resolve ``--oracle`` to a (labelling, cost constants) pair.
+
+    * saved labelling next to the index -> load it (``--mmap`` maps
+      the columns) together with any persisted cost model -- whatever
+      the default oracle, so serve requests can override per query;
+    * ``--oracle labels`` without one -> build in memory, with a
+      note that ``repro build-labels`` would persist the work;
+    * otherwise -> nothing to load; ``auto`` without a labelling
+      plans over the remaining backends.
+    """
+    labels_dir = _labels_dir(args.index)
+    if labels_dir is not None and PrunedLabellingOracle.saved_at(labels_dir):
+        labelling = PrunedLabellingOracle.load(labels_dir, net, mmap=args.mmap)
+        return labelling, CostConstants.load(labels_dir)
+    if args.oracle == "labels":
+        print(
+            "no saved labelling next to the index; building in memory "
+            "(run `repro build-labels` to persist it)",
+            file=sys.stderr,
+        )
+        return PrunedLabellingOracle.build(net), None
+    return None, None
+
+
+def _cmd_build_labels(args: argparse.Namespace) -> int:
+    net = load_text(args.network)
+    labels_dir = _labels_dir(args.index)
+    if labels_dir is None:
+        print(
+            "build-labels needs a directory-layout index: .npz archives "
+            "cannot carry the labelling columns (rebuild the index with a "
+            "non-.npz path)",
+            file=sys.stderr,
+        )
+        return 2
+    last_report = [0.0]
+
+    def progress(done: int, total: int) -> None:
+        now = time.perf_counter()
+        if now - last_report[0] >= 2.0 or done == total:
+            last_report[0] = now
+            print(f"  {done}/{total} hubs", file=sys.stderr)
+
+    labelling = PrunedLabellingOracle.build(net, progress=progress)
+    labelling.save(labels_dir)
+    bs = labelling.build_stats
+    print(
+        f"built pruned-landmark labelling in {bs.build_seconds:.1f}s: "
+        f"{bs.entries_out + bs.entries_in} entries "
+        f"({labelling.mean_label_size():.1f}/vertex out+in) -> {labels_dir}"
+    )
+    if args.skip_calibration:
+        return 0
+    index = SILCIndex.load(args.index, net, mmap=args.mmap)
+    objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
+    object_index = ObjectIndex(net, objects, index.embedding)
+    engine = QueryEngine(
+        index, object_index,
+        cache_fraction=args.cache_fraction,
+        labelling=labelling,
+    )
+    planner = engine.ensure_planner()
+    planner.constants.save(labels_dir)
+    print(f"calibrated planner cost model -> {labels_dir}")
+    for k in (1, 4, 16):
+        print(f"  {planner.explain(k)}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     net = load_text(args.network)
     index = SILCIndex.load(args.index, net, mmap=args.mmap)
@@ -139,17 +231,34 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     index = SILCIndex.load(args.index, net, mmap=args.mmap)
     objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
     object_index = ObjectIndex(net, objects, index.embedding)
-    engine = QueryEngine(index, object_index)
-    batch = engine.knn_batch(args.query, args.k, exact=True)
+    labelling, constants = _load_labelling(args, net)
+    engine = QueryEngine(
+        index, object_index, labelling=labelling, oracle=args.oracle
+    )
+    if constants is not None:
+        engine.planner = QueryPlanner(
+            engine.oracles, constants=constants, storage=engine.storage
+        )
+    batch = engine.knn_batch(
+        args.query, args.k, exact=True, epsilon=args.epsilon
+    )
     for query, result in zip(args.query, batch.results):
         if len(args.query) > 1:
             print(f"query vertex {query}:")
         for rank, n in enumerate(result.neighbors, start=1):
             vertex = objects[n.oid].position.vertex
+            # best_estimate == the exact distance everywhere except the
+            # --epsilon path, whose neighbors keep their intervals.
             print(f"#{rank}  object {n.oid}  vertex {vertex}  "
-                  f"distance {n.distance:.6g}")
+                  f"distance {n.best_estimate:.6g}")
+    stats = batch.stats
+    counters = [f"{stats.refinements} refinements"]
+    if stats.label_scans:
+        counters.append(f"{stats.label_scans} label scans")
+    if stats.settled:
+        counters.append(f"{stats.settled} settled")
     print(
-        f"({batch.stats.refinements} refinements, "
+        f"({', '.join(counters)}, "
         f"peak queue {max(r.stats.max_queue for r in batch.results)})"
     )
     return 0
@@ -168,12 +277,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     index = SILCIndex.load(args.index, net, mmap=args.mmap)
     objects = random_vertex_objects(net, count=args.objects, seed=args.seed)
     object_index = ObjectIndex(net, objects, index.embedding)
+    labelling, constants = _load_labelling(args, net)
     engine = QueryEngine(
         index,
         object_index,
         cache_fraction=args.cache_fraction,
         max_locations=args.max_locations,
+        labelling=labelling,
+        oracle=args.oracle,
     )
+    if constants is not None:
+        engine.planner = QueryPlanner(
+            engine.oracles, constants=constants, storage=engine.storage
+        )
 
     async def run() -> int:
         async with AsyncEngine(
@@ -270,6 +386,32 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_build)
 
+    p = sub.add_parser(
+        "build-labels",
+        help="add a pruned-landmark labelling backend to a built index",
+    )
+    p.add_argument("network")
+    p.add_argument(
+        "index",
+        help="existing directory-layout index; the labelling columns "
+        "and calibrated cost model land in its labels/ subdirectory",
+    )
+    p.add_argument(
+        "--skip-calibration",
+        action="store_true",
+        help="only build and save the label columns (no planner cost "
+        "model; `--oracle auto` will calibrate lazily at serve time)",
+    )
+    p.add_argument("--objects", type=int, default=25,
+                   help="random vertex objects calibration queries run over")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-fraction", type=float, default=0.05,
+                   help="page-cache fraction the calibration runs under "
+                   "(match the serving configuration)")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map the index during calibration")
+    p.set_defaults(func=_cmd_build_labels)
+
     p = sub.add_parser("stats", help="report index statistics")
     p.add_argument("network")
     p.add_argument("index")
@@ -300,6 +442,21 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--objects", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--oracle",
+        choices=list(ORACLE_CHOICES),
+        default="silc",
+        help="kNN backend: silc (best-first browsing), labels "
+        "(2-hop labelling IER), ine (network expansion) or auto "
+        "(per-query cost-based planning)",
+    )
+    p.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="(1+epsilon)-approximate search on the SILC backend "
+        "(0 = exact, the default)",
+    )
     p.add_argument("--mmap", action="store_true",
                    help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_knn)
@@ -337,7 +494,15 @@ def make_parser() -> argparse.ArgumentParser:
                    help="spatial shard worker *processes* for kNN "
                    "queries: the index is partitioned by Morton-key "
                    "ranges and a router prunes shards by distance "
-                   "bound (1 = in-process, no sharding)")
+                   "bound (1 = in-process, no sharding; the shard "
+                   "tier serves the silc backend only)")
+    p.add_argument(
+        "--oracle",
+        choices=list(ORACLE_CHOICES),
+        default="silc",
+        help="default kNN backend for requests that do not name one "
+        "(a request's own \"oracle\" field overrides per query)",
+    )
     p.add_argument("--mmap", action="store_true",
                    help="memory-map a directory-layout index")
     p.set_defaults(func=_cmd_serve)

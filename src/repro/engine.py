@@ -35,7 +35,12 @@ from typing import Iterable, Iterator
 
 from repro.objects.index import ObjectIndex
 from repro.objects.model import NetworkPosition
+from repro.oracle.base import ORACLE_CHOICES
+from repro.oracle.labelling import PrunedLabellingOracle
+from repro.oracle.planner import QueryPlanner
+from repro.oracle.silc import INEOracle, SILCOracle
 from repro.query.bestfirst import VARIANTS, best_first_knn
+from repro.query.browsing import approximate_knn
 from repro.query.location import resolve_location
 from repro.query.results import KNNResult
 from repro.query.stats import QueryStats
@@ -94,6 +99,21 @@ class QueryEngine:
         bound.  (:class:`repro.storage.lru.LRUCache` tracks page-id
         *membership* only, so the value cache here keeps its own
         ``OrderedDict`` recency order instead of reusing it.)
+    labelling:
+        A built/loaded :class:`~repro.oracle.PrunedLabellingOracle`
+        over the same network, enabling the ``labels`` backend (and
+        giving ``auto`` a third choice).  Bound to this engine's
+        object index.
+    oracle:
+        Default kNN backend for queries that do not name one:
+        ``"silc"`` (the historical path, unchanged), ``"labels"``
+        (labelling-backed IER), ``"ine"`` (incremental network
+        expansion) or ``"auto"`` (per-query cost-based planning).
+    planner:
+        An explicit :class:`~repro.oracle.QueryPlanner` (e.g. with a
+        forced backend or preloaded calibration constants).  Built
+        lazily from the engine's backends when omitted and ``auto``
+        is requested.
     """
 
     #: Default bound on cached resolved locations.
@@ -106,6 +126,9 @@ class QueryEngine:
         storage: StorageSimulator | None = None,
         cache_fraction: float | None = None,
         max_locations: int | None = DEFAULT_MAX_LOCATIONS,
+        labelling: PrunedLabellingOracle | None = None,
+        oracle: str = "silc",
+        planner: QueryPlanner | None = None,
     ) -> None:
         if storage is not None and cache_fraction is not None:
             raise ValueError("pass either storage or cache_fraction, not both")
@@ -113,10 +136,34 @@ class QueryEngine:
             storage = index.make_storage(cache_fraction=cache_fraction)
         if max_locations is not None and max_locations < 1:
             raise ValueError("max_locations must be at least 1 (or None)")
+        if oracle not in ORACLE_CHOICES:
+            raise ValueError(
+                f"unknown oracle {oracle!r}; expected one of {ORACLE_CHOICES}"
+            )
         self.index = index
         self.object_index = object_index
         self.storage = storage
         self.max_locations = max_locations
+        self.oracle = oracle
+        self.labelling = (
+            labelling.bind_objects(object_index) if labelling is not None else None
+        )
+        #: Backend name -> bound oracle.  ``silc`` is the historical
+        #: best-first path; ``labels`` appears when a labelling is
+        #: given; ``ine`` is always available (no precomputed state).
+        self.oracles = {
+            "silc": SILCOracle(index, object_index),
+            # The engine's simulator models SILC *index* pages, which
+            # INE never reads; it only charges storage when handed a
+            # vertex-page model (NetworkStorageModel) explicitly.
+            "ine": INEOracle(
+                object_index,
+                storage=storage if hasattr(storage, "touch_vertex") else None,
+            ),
+        }
+        if self.labelling is not None:
+            self.oracles["labels"] = self.labelling
+        self.planner = planner
         self._positions: OrderedDict = OrderedDict()
         # Guards the location cache's read-reorder-evict sequence so
         # parallel query workers (AsyncEngine max_workers > 1) can
@@ -153,6 +200,42 @@ class QueryEngine:
         return cached
 
     # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+    def ensure_planner(self) -> QueryPlanner:
+        """The engine's planner, built (and calibrated) on first use.
+
+        Calibration runs its sample queries with the engine's storage
+        simulator attached, so the measured per-op constants include
+        the simulated I/O each backend would actually pay.
+        """
+        if self.planner is None:
+            attached, previous = self._attach()
+            try:
+                planner = QueryPlanner(self.oracles, storage=self.storage)
+                planner.calibrate()
+            finally:
+                self._restore(attached, previous)
+            self.planner = planner
+        return self.planner
+
+    def _resolve_backend(self, oracle: str | None, position, k: int) -> str:
+        backend = self.oracle if oracle is None else oracle
+        if backend not in ORACLE_CHOICES:
+            raise ValueError(
+                f"unknown oracle {backend!r}; expected one of {ORACLE_CHOICES}"
+            )
+        if backend == "auto":
+            backend = self.ensure_planner().choose(position, k)
+        if backend not in self.oracles:
+            raise ValueError(
+                f"oracle {backend!r} is not loaded on this engine "
+                "(pass labelling= to the constructor, or `repro "
+                "build-labels` the index first)"
+            )
+        return backend
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def knn(
@@ -162,20 +245,28 @@ class QueryEngine:
         variant: str = "knn",
         exact: bool = False,
         max_distance: float = math.inf,
+        oracle: str | None = None,
     ) -> KNNResult:
         """One k-nearest-neighbor query through the engine's shared state.
 
         ``max_distance`` (network-weight units) is an external pruning
         cap: objects farther than it may be omitted and the search
         stops early (see :func:`repro.query.bestfirst.best_first_knn`).
+        ``oracle`` overrides the engine's default backend for this
+        query (``"auto"``/``"silc"``/``"labels"``/``"ine"``; the
+        non-SILC backends always answer exact sorted distances, and
+        ``variant``/``max_distance`` apply to the SILC path only).
         """
         position = self.resolve(query)
+        backend = self._resolve_backend(oracle, position, k)
         attached, previous = self._attach()
         try:
-            return best_first_knn(
-                self.index, self.object_index, position, k,
-                variant=variant, exact=exact, max_distance=max_distance,
-            )
+            if backend == "silc":
+                return best_first_knn(
+                    self.index, self.object_index, position, k,
+                    variant=variant, exact=exact, max_distance=max_distance,
+                )
+            return self.oracles[backend].knn(position, k)
         finally:
             self._restore(attached, previous)
 
@@ -185,6 +276,8 @@ class QueryEngine:
         k: int,
         variant: str = "knn",
         exact: bool = False,
+        epsilon: float = 0.0,
+        oracle: str | None = None,
     ) -> BatchResult:
         """Answer many kNN queries in one pass over the shared state.
 
@@ -197,10 +290,23 @@ class QueryEngine:
         ``queries`` is consumed exactly once, so one-shot iterables
         (generators, streaming readers) are answered in full -- the
         same single-pass contract as :meth:`SILCIndex.build`.
+
+        ``epsilon > 0`` relaxes each query to the ``(1 + epsilon)``
+        approximate search (:func:`repro.query.approximate_knn`) --
+        fewer refinements for near-optimal answers; ``epsilon = 0``
+        is the exact path, byte-identical to before the knob existed.
+        ``oracle`` selects the backend as in :meth:`knn` (approximate
+        search is a SILC capability, so the two knobs are exclusive).
         """
         if variant not in VARIANTS:
             raise ValueError(
                 f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if epsilon > 0 and (oracle or self.oracle) not in ("silc", None):
+            raise ValueError(
+                "epsilon-approximate search runs on the SILC backend only"
             )
         t_start = perf_counter()
         results: list[KNNResult] = []
@@ -208,12 +314,24 @@ class QueryEngine:
         try:
             for query in queries:
                 position = self.resolve(query)
-                results.append(
-                    best_first_knn(
-                        self.index, self.object_index, position, k,
-                        variant=variant, exact=exact,
+                if epsilon > 0:
+                    results.append(
+                        approximate_knn(
+                            self.index, self.object_index, position, k,
+                            epsilon=epsilon,
+                        )
                     )
-                )
+                    continue
+                backend = self._resolve_backend(oracle, position, k)
+                if backend == "silc":
+                    results.append(
+                        best_first_knn(
+                            self.index, self.object_index, position, k,
+                            variant=variant, exact=exact,
+                        )
+                    )
+                else:
+                    results.append(self.oracles[backend].knn(position, k))
         finally:
             self._restore(attached, previous)
         stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())

@@ -1,0 +1,289 @@
+"""Cost-based query planning across distance-oracle backends.
+
+Per query, the planner picks the backend expected to answer cheapest.
+The model is the classic "measured constants x analytical shape"
+split (a database optimizer in miniature):
+
+* **Measured per-op constants** -- seconds per counted unit of work
+  (SILC: one refinement; labels: one label-entry scan; INE: one
+  settled vertex), recorded by :meth:`QueryPlanner.calibrate` from
+  real sample queries against the live index, object set and storage
+  simulator, persistable as JSON alongside the labelling columns.
+* **Analytical query-shape terms** -- a per-backend linear counted-op
+  model ``ops(k) = base + per_k * k`` fitted at calibration time.
+  Object density enters through the fit (calibration runs against the
+  serving object index, so the constants absorb the density the
+  backend actually faces); ``k`` enters per query.
+* **Cache state** -- when the engine's storage simulator is attached,
+  SILC's predicted cost is scaled by the excess of the current miss
+  rate over the calibration-time miss rate, so a cold page cache
+  pushes the planner toward the backends that never touch index pages.
+
+Every decision is counted in :class:`PlannerStats` (per-backend picks,
+forced overrides, calibration cost), the same counted-first
+methodology as the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+from repro.oracle.base import DistanceOracle
+from repro.query.stats import QueryStats
+
+#: File name the calibrated constants persist under (inside the
+#: ``labels/`` subdirectory of an index).
+COST_MODEL_FILE = "cost_model.json"
+
+#: Deterministic tie-break / iteration order of plannable backends.
+PLANNABLE = ("silc", "labels", "ine")
+
+#: Calibration k values the linear ops(k) model is fitted through.
+CALIBRATION_KS = (1, 8)
+
+
+def counted_ops(backend: str, stats: QueryStats) -> int:
+    """The backend's counted unit of work accumulated in ``stats``.
+
+    SILC counts refinement steps (including exactness
+    post-refinements); labels count label-entry scans; INE counts
+    settled vertices.  These are the units the per-op calibration
+    constants are measured in.
+    """
+    if backend == "silc":
+        return stats.refinements + stats.extras.get("post_refinements", 0)
+    if backend == "labels":
+        return stats.label_scans
+    if backend == "ine":
+        return stats.settled
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """The calibrated model: per-backend op counts and op seconds.
+
+    ``op_model[b] = (base, per_k)`` predicts counted ops for one
+    query at ``k``; ``op_seconds[b]`` is the measured wall-clock
+    (including simulated I/O time, when a storage simulator was
+    attached during calibration) per counted op.
+    """
+
+    op_model: dict[str, tuple[float, float]]
+    op_seconds: dict[str, float]
+    miss_rate: float = 0.0
+
+    def predicted_ops(self, backend: str, k: int) -> float:
+        base, per_k = self.op_model[backend]
+        return base + per_k * k
+
+    def predicted_cost(self, backend: str, k: int) -> float:
+        return self.predicted_ops(backend, k) * self.op_seconds[backend]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        payload = {
+            "op_model": {b: list(v) for b, v in self.op_model.items()},
+            "op_seconds": self.op_seconds,
+            "miss_rate": self.miss_rate,
+        }
+        path = Path(directory) / COST_MODEL_FILE
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, directory) -> "CostConstants | None":
+        path = Path(directory) / COST_MODEL_FILE
+        if not path.exists():
+            return None
+        payload = json.loads(path.read_text())
+        return cls(
+            op_model={b: tuple(v) for b, v in payload["op_model"].items()},
+            op_seconds=dict(payload["op_seconds"]),
+            miss_rate=float(payload.get("miss_rate", 0.0)),
+        )
+
+
+@dataclass
+class PlannerStats:
+    """Counted per-decision accounting of one planner."""
+
+    #: backend name -> queries routed to it by the cost model.
+    decisions: dict[str, int] = field(default_factory=dict)
+    #: Queries answered under a forced-backend override.
+    forced: int = 0
+    #: Calibration runs and the queries they spent.
+    calibrations: int = 0
+    calibration_queries: int = 0
+
+    def record(self, backend: str, forced: bool = False) -> None:
+        if forced:
+            self.forced += 1
+        else:
+            self.decisions[backend] = self.decisions.get(backend, 0) + 1
+
+    @property
+    def planned(self) -> int:
+        return sum(self.decisions.values())
+
+
+class QueryPlanner:
+    """Pick a kNN backend per query from the calibrated cost model.
+
+    Parameters
+    ----------
+    oracles:
+        Backend name -> bound :class:`DistanceOracle`.  Only names in
+        :data:`PLANNABLE` participate; at least one is required.
+    constants:
+        A previously calibrated :class:`CostConstants` (e.g. loaded
+        from the labelling directory).  When omitted, the planner
+        calibrates itself lazily on the first ``choose`` call.
+    force:
+        Forced-backend override: every ``choose`` returns this name
+        and only :attr:`PlannerStats.forced` is incremented.  The
+        operational escape hatch when the model misjudges a workload.
+    storage:
+        The engine's storage simulator, read for the cache-state term.
+    calibration_queries:
+        Sample query vertices for lazy calibration (defaults to a
+        deterministic spread of the network's vertices).
+    """
+
+    def __init__(
+        self,
+        oracles: dict[str, DistanceOracle],
+        constants: CostConstants | None = None,
+        force: str | None = None,
+        storage=None,
+        calibration_queries=None,
+    ) -> None:
+        self.oracles = {
+            name: oracles[name] for name in PLANNABLE if name in oracles
+        }
+        if not self.oracles:
+            raise ValueError(
+                f"no plannable backend given; expected one of {PLANNABLE}"
+            )
+        if force is not None and force not in self.oracles:
+            raise ValueError(
+                f"cannot force unavailable backend {force!r}; "
+                f"have {tuple(self.oracles)}"
+            )
+        self.constants = constants
+        self.force = force
+        self.storage = storage
+        self.stats = PlannerStats()
+        self._calibration_queries = calibration_queries
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _default_queries(self, samples: int = 4) -> list[int]:
+        some = next(iter(self.oracles.values()))
+        network = getattr(some, "network", None)
+        if network is None:
+            network = some.object_index.network
+        n = network.num_vertices
+        step = max(1, n // samples)
+        return [(i * step + step // 3) % n for i in range(samples)]
+
+    def calibrate(self, queries=None, ks=CALIBRATION_KS) -> CostConstants:
+        """Measure per-op constants and fit the ops(k) model.
+
+        Runs ``len(queries) * len(ks)`` real queries per backend
+        against the live index/object set (exact answers, so every
+        backend does comparable work) and records, per backend, the
+        mean counted ops at each ``k`` (fitting the linear model) and
+        the mean seconds per op.  The calibration queries warm the
+        storage simulator exactly as real traffic would; the observed
+        miss rate is recorded for the cache-state term.
+        """
+        if queries is None:
+            queries = self._calibration_queries or self._default_queries()
+        queries = list(queries)
+        op_model: dict[str, tuple[float, float]] = {}
+        op_seconds: dict[str, float] = {}
+        for backend, oracle in self.oracles.items():
+            mean_ops: list[float] = []
+            total_ops = 0
+            total_seconds = 0.0
+            for k in ks:
+                ops_at_k = 0
+                for q in queries:
+                    t0 = perf_counter()
+                    result = oracle.knn(q, k, exact=True)
+                    elapsed = perf_counter() - t0
+                    ops = counted_ops(backend, result.stats)
+                    ops_at_k += ops
+                    total_ops += ops
+                    total_seconds += elapsed + result.stats.io_time
+                mean_ops.append(ops_at_k / len(queries))
+            k1, k2 = ks[0], ks[-1]
+            if k2 > k1:
+                per_k = max(0.0, (mean_ops[-1] - mean_ops[0]) / (k2 - k1))
+            else:
+                per_k = 0.0
+            base = max(0.0, mean_ops[0] - per_k * k1)
+            op_model[backend] = (base, per_k)
+            op_seconds[backend] = total_seconds / max(1, total_ops)
+        self.constants = CostConstants(
+            op_model=op_model,
+            op_seconds=op_seconds,
+            miss_rate=self._miss_rate(),
+        )
+        self.stats.calibrations += 1
+        self.stats.calibration_queries += (
+            len(queries) * len(ks) * len(self.oracles)
+        )
+        return self.constants
+
+    def _miss_rate(self) -> float:
+        if self.storage is None:
+            return 0.0
+        stats = self.storage.stats
+        accesses = getattr(stats, "accesses", 0)
+        if not accesses:
+            return 0.0
+        return getattr(stats, "misses", 0) / accesses
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def predicted_costs(self, k: int) -> dict[str, float]:
+        """Per-backend predicted seconds for one query at ``k``."""
+        if self.constants is None:
+            self.calibrate()
+        costs: dict[str, float] = {}
+        cold_excess = max(0.0, self._miss_rate() - self.constants.miss_rate)
+        for backend in self.oracles:
+            cost = self.constants.predicted_cost(backend, k)
+            if backend == "silc" and cold_excess > 0.0:
+                # Colder cache than calibration saw: each SILC op pays
+                # proportionally more simulated I/O.
+                cost *= 1.0 + cold_excess
+            costs[backend] = cost
+        return costs
+
+    def choose(self, query, k: int) -> str:
+        """The backend name this query should run on."""
+        if self.force is not None:
+            self.stats.record(self.force, forced=True)
+            return self.force
+        costs = self.predicted_costs(k)
+        best = min(costs, key=lambda b: (costs[b], PLANNABLE.index(b)))
+        self.stats.record(best)
+        return best
+
+    def explain(self, k: int) -> str:
+        """One-line decision trace for logs and the runbook."""
+        costs = self.predicted_costs(k)
+        parts = ", ".join(
+            f"{b}={c * 1e6:.1f}us" for b, c in sorted(costs.items())
+        )
+        winner = min(costs, key=lambda b: (costs[b], PLANNABLE.index(b)))
+        return f"k={k}: {parts} -> {winner}"

@@ -10,6 +10,14 @@ distance never undercuts Euclidean distance on metric road networks
 The paper finds IER consistently slowest: every candidate pays a full
 point-to-point search, and Euclidean order is a poor proxy for network
 order (the whole motivation of the paper).
+
+The refinement stage now runs through the shared
+:class:`~repro.oracle.DistanceOracle` interface: by default a
+:class:`~repro.oracle.DijkstraOracle` (the historical multi-seed
+Dijkstra, unchanged), but any loaded oracle -- in particular a
+:class:`~repro.oracle.PrunedLabellingOracle` -- transparently
+accelerates every candidate's exact distance from a Dijkstra ball to
+a label merge.
 """
 
 from __future__ import annotations
@@ -18,7 +26,6 @@ import math
 from time import perf_counter
 
 from repro.network.astar import astar_path
-from repro.network.dijkstra import IncrementalDijkstra
 from repro.objects.index import ObjectIndex
 from repro.query.location import (
     location_point,
@@ -40,8 +47,15 @@ def _network_distance(
     stats: QueryStats,
     engine: str,
     storage=None,
+    oracle=None,
 ) -> float:
-    """Exact network distance from the query to one object."""
+    """Exact network distance from the query to one object.
+
+    Routed through ``oracle.anchored_distance`` -- the shared
+    :class:`~repro.oracle.DistanceOracle` surface -- except for the
+    A* engine, whose goal-directed point-to-point search has no
+    anchored batch form.
+    """
     best = math.inf
     direct = same_edge_direct(network, position, obj_position)
     if direct is not None:
@@ -59,22 +73,9 @@ def _network_distance(
             stats.relaxed += search_stats.relaxed
             best = min(best, dist + t_off)
         return best
-    expansion = IncrementalDijkstra(network, seeds=src_anchors)
-    targets = {tv for tv, _ in t_anchors}
-    remaining = set(targets)
-    while remaining:
-        settled = expansion.settle_next()
-        if settled is None:
-            break
-        if storage is not None:
-            storage.touch_vertex(settled[0])
-        remaining.discard(settled[0])
-    stats.settled += expansion.stats.settled
-    stats.relaxed += expansion.stats.relaxed
-    for tv, t_off in t_anchors:
-        if math.isfinite(expansion.dist[tv]):
-            best = min(best, expansion.dist[tv] + t_off)
-    return best
+    return oracle.anchored_distance(
+        src_anchors, t_anchors, best=best, stats=stats, storage=storage
+    )
 
 
 def ier_knn(
@@ -83,18 +84,29 @@ def ier_knn(
     k: int,
     engine: str = "dijkstra",
     storage=None,
+    oracle=None,
 ) -> KNNResult:
     """The k nearest objects by incremental Euclidean restriction.
 
     ``engine`` selects the point-to-point solver for the refinement
     stage: ``"dijkstra"`` (the paper's choice) or ``"astar"``.  The
     ``storage`` page model, when given, charges each settled vertex a
-    page access (dijkstra engine only).
+    page access (dijkstra engine only).  ``oracle`` overrides the
+    refinement backend with any :class:`~repro.oracle.DistanceOracle`
+    -- pass a loaded :class:`~repro.oracle.PrunedLabellingOracle` and
+    every candidate's exact distance costs a label merge instead of a
+    Dijkstra ball.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
     if engine not in ("dijkstra", "astar"):
         raise ValueError(f"unknown engine {engine!r}")
+    if oracle is None:
+        from repro.oracle.base import DijkstraOracle
+
+        oracle = DijkstraOracle(object_index.network)
+    else:
+        engine = "oracle"
     t_start = perf_counter()
     stats = QueryStats()
     network = object_index.network
@@ -122,7 +134,8 @@ def ier_knn(
         seen.add(oid)
         obj = object_index.get(oid)
         dist = _network_distance(
-            network, src_anchors, position, obj.position, stats, engine, storage
+            network, src_anchors, position, obj.position, stats, engine,
+            storage, oracle,
         )
         results.append((dist, oid))
         results.sort()

@@ -40,6 +40,9 @@ class QueryStats:
         Object-index lookups (INE probes one per settled vertex).
     nd_computations:
         Point-to-point network-distance computations (IER).
+    label_scans:
+        Label entries scanned by 2-hop labelling distance merges
+        (:class:`~repro.oracle.PrunedLabellingOracle`'s counted unit).
     """
 
     # SILC family
@@ -66,6 +69,7 @@ class QueryStats:
     relaxed: int = 0
     index_probes: int = 0
     nd_computations: int = 0
+    label_scans: int = 0
     # wall clock
     elapsed: float = 0.0
 
@@ -89,6 +93,7 @@ class QueryStats:
             "relaxed",
             "index_probes",
             "nd_computations",
+            "label_scans",
             "io_accesses",
             "io_misses",
         ):

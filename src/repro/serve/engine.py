@@ -148,26 +148,52 @@ class AsyncEngine:
             self._executor, lambda: fn(*args, **kwargs)
         )
 
+    def _effective_oracle(self, oracle: str | None) -> str:
+        """The backend a request would run on before planning.
+
+        ``None`` falls back to the engine's default, so a shard-tier
+        deployment started with ``--oracle labels`` does not silently
+        route unlabelled requests back to SILC shards.
+        """
+        return oracle if oracle is not None else getattr(self.engine, "oracle", "silc")
+
     # ------------------------------------------------------------------
     # Queries (mirror QueryEngine's surface)
     # ------------------------------------------------------------------
-    async def knn(self, query, k: int, variant: str = "knn", exact: bool = False) -> KNNResult:
-        if self.shard_group is not None:
+    async def knn(
+        self,
+        query,
+        k: int,
+        variant: str = "knn",
+        exact: bool = False,
+        oracle: str | None = None,
+    ) -> KNNResult:
+        if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             # The sharded tier always refines to exact distances (the
             # router merges candidates by comparing them), so `exact`
-            # is subsumed rather than forwarded.
+            # is subsumed rather than forwarded.  Its router prunes by
+            # SILC block bounds, so a non-SILC oracle request bypasses
+            # the shard tier and runs on the local engine instead.
             return await self._run(self.shard_group.knn, query, k, variant=variant)
-        return await self._run(self.engine.knn, query, k, variant=variant, exact=exact)
+        return await self._run(
+            self.engine.knn, query, k, variant=variant, exact=exact, oracle=oracle
+        )
 
     async def knn_batch(
-        self, queries: Iterable, k: int, variant: str = "knn", exact: bool = False
+        self,
+        queries: Iterable,
+        k: int,
+        variant: str = "knn",
+        exact: bool = False,
+        oracle: str | None = None,
     ) -> BatchResult:
-        if self.shard_group is not None:
+        if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             return await self._run(
                 self.shard_group.knn_batch, queries, k, variant=variant
             )
         return await self._run(
-            self.engine.knn_batch, queries, k, variant=variant, exact=exact
+            self.engine.knn_batch, queries, k, variant=variant, exact=exact,
+            oracle=oracle,
         )
 
     async def path(self, source: int, target: int) -> list[int]:

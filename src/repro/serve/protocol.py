@@ -44,6 +44,10 @@ class Request:
         ``exact`` defaults to True on both the dataclass and the wire
         -- a serving client reading ``distances`` off the response
         expects real network distances, not interval midpoints.
+    oracle:
+        Optional per-request backend override
+        (``auto``/``silc``/``labels``/``ine``); ``None`` defers to
+        the serving engine's default.
     deadline:
         Optional budget in seconds from submission; a request still
         queued when it runs out is answered with :class:`Expired`
@@ -57,11 +61,20 @@ class Request:
     k: int = 1
     variant: str = "knn"
     exact: bool = True
+    oracle: str | None = None
     deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown request kind {self.kind!r}; expected one of {KINDS}")
+        if self.oracle is not None:
+            from repro.oracle.base import ORACLE_CHOICES
+
+            if self.oracle not in ORACLE_CHOICES:
+                raise ValueError(
+                    f"unknown oracle {self.oracle!r}; "
+                    f"expected one of {ORACLE_CHOICES}"
+                )
         if self.kind in ("path", "distance") and len(self.queries) != 2:
             raise ValueError(f"{self.kind} requests need (source, target), got {self.queries!r}")
         if self.kind in ("knn", "knn_batch") and not self.queries:
@@ -157,6 +170,7 @@ def request_from_dict(obj: dict) -> Request:
         k=int(obj.get("k", 1)),
         variant=obj.get("variant", "knn"),
         exact=bool(obj.get("exact", True)),
+        oracle=obj.get("oracle"),
         deadline=obj.get("deadline"),
     )
 

@@ -216,6 +216,7 @@ class SILCServer:
                 r = await self.engine.knn(
                     chunk.queries[0], request.k,
                     variant=request.variant, exact=request.exact,
+                    oracle=request.oracle,
                 )
                 pending.stats.append(r.stats)
                 result = {"ids": r.ids(), "distances": r.distances()}
@@ -223,6 +224,7 @@ class SILCServer:
                 batch = await self.engine.knn_batch(
                     chunk.queries, request.k,
                     variant=request.variant, exact=request.exact,
+                    oracle=request.oracle,
                 )
                 pending.ids.extend(batch.ids())
                 pending.distances.extend(r.distances() for r in batch.results)

@@ -17,6 +17,25 @@ def built(tmp_path, capsys):
     return net_path, idx_path
 
 
+@pytest.fixture()
+def built_dir(tmp_path, capsys):
+    """A directory-layout index (the layout that can carry labels)."""
+    net_path = tmp_path / "net.txt"
+    idx_path = tmp_path / "index.silc"
+    assert main(["generate", str(net_path), "--size", "120", "--seed", "3"]) == 0
+    assert main(["build", str(net_path), str(idx_path)]) == 0
+    capsys.readouterr()
+    return net_path, idx_path
+
+
+def _rank_dists(out: str) -> list[float]:
+    return [
+        float(l.split("distance")[1])
+        for l in out.splitlines()
+        if l.startswith("#")
+    ]
+
+
 class TestGenerate:
     @pytest.mark.parametrize("kind", ["road", "grid", "planar"])
     def test_generates_loadable_network(self, kind, tmp_path, capsys):
@@ -107,7 +126,108 @@ class TestKnn:
         )
 
 
+class TestOracles:
+    def test_build_labels_persists_columns(self, built_dir, capsys):
+        net_path, idx_path = built_dir
+        rc = main(["build-labels", str(net_path), str(idx_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruned-landmark labelling" in out
+        assert "calibrated planner cost model" in out
+        labels_dir = idx_path / "labels"
+        from repro.oracle import PrunedLabellingOracle
+
+        assert PrunedLabellingOracle.saved_at(labels_dir)
+        assert (labels_dir / "cost_model.json").exists()
+
+    def test_build_labels_rejects_npz(self, built, capsys):
+        net_path, idx_path = built
+        rc = main(["build-labels", str(net_path), str(idx_path)])
+        assert rc == 2
+        assert "directory-layout" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("oracle", ["labels", "ine", "auto"])
+    def test_oracle_backends_match_silc(self, oracle, built_dir, capsys):
+        net_path, idx_path = built_dir
+        main(["build-labels", str(net_path), str(idx_path)])
+        capsys.readouterr()
+        base_args = ["knn", str(net_path), str(idx_path),
+                     "--query", "5", "--k", "3", "--objects", "20"]
+        assert main(base_args + ["--oracle", "silc"]) == 0
+        silc_dists = _rank_dists(capsys.readouterr().out)
+        assert main(base_args + ["--oracle", oracle]) == 0
+        assert _rank_dists(capsys.readouterr().out) == pytest.approx(
+            silc_dists, rel=1e-9
+        )
+
+    def test_oracle_labels_builds_in_memory_without_saved(self, built,
+                                                          capsys):
+        net_path, idx_path = built
+        rc = main(["knn", str(net_path), str(idx_path),
+                   "--query", "5", "--k", "3", "--oracle", "labels"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "label scans" in captured.out
+        assert "build-labels" in captured.err  # the persist hint
+
+    def test_epsilon_relaxation(self, built, capsys):
+        net_path, idx_path = built
+        args = ["knn", str(net_path), str(idx_path),
+                "--query", "5", "--k", "3", "--objects", "20"]
+        assert main(args + ["--epsilon", "0"]) == 0
+        exact = _rank_dists(capsys.readouterr().out)
+        assert main(args + ["--epsilon", "0.5"]) == 0
+        approx = _rank_dists(capsys.readouterr().out)
+        assert len(approx) == len(exact) == 3
+        # interval midpoints never undercut the exact distance, and the
+        # (1+eps) contract bounds the kth overshoot
+        assert approx[-1] <= (1 + 0.5) * exact[-1] + 1e-9
+
+
 class TestServe:
+    def test_serve_oracle_auto_matches_silc(self, built_dir, tmp_path,
+                                            capsys):
+        net_path, idx_path = built_dir
+        main(["build-labels", str(net_path), str(idx_path)])
+        capsys.readouterr()
+        infile = tmp_path / "requests.jsonl"
+        requests = [
+            {"id": i, "kind": "knn", "query": q, "k": 3}
+            for i, q in enumerate([0, 5, 37, 5])
+        ]
+        requests.append(
+            {"id": 99, "kind": "knn", "query": 8, "k": 2, "oracle": "labels"}
+        )
+        infile.write_text("\n".join(json.dumps(r) for r in requests) + "\n")
+        answers = {}
+        for oracle in ("silc", "auto"):
+            rc = main(["serve", str(net_path), str(idx_path),
+                       "--objects", "20", "--seed", "1",
+                       "--oracle", oracle, "--input", str(infile)])
+            assert rc == 0
+            records = [json.loads(l)
+                       for l in capsys.readouterr().out.splitlines()]
+            assert all(r["status"] == "ok" for r in records)
+            answers[oracle] = {r["id"]: (r["ids"], r["distances"])
+                               for r in records}
+        assert answers["auto"].keys() == answers["silc"].keys()
+        for rid, (ids, dists) in answers["silc"].items():
+            assert answers["auto"][rid][0] == ids
+            assert answers["auto"][rid][1] == pytest.approx(dists, rel=1e-9)
+
+    def test_serve_rejects_unknown_oracle_request(self, built, tmp_path,
+                                                  capsys):
+        net_path, idx_path = built
+        infile = tmp_path / "requests.jsonl"
+        infile.write_text(
+            json.dumps({"id": 1, "kind": "knn", "query": 0, "k": 2,
+                        "oracle": "quantum"}) + "\n"
+        )
+        assert main(["serve", str(net_path), str(idx_path),
+                     "--objects", "20", "--input", str(infile)]) == 0
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["status"] == "error"
+        assert "quantum" in record["error"]
     def test_jsonl_loop_answers_requests(self, built, tmp_path, capsys):
         net_path, idx_path = built
         requests = [
