@@ -22,7 +22,14 @@ answers the whole batch through one :class:`~repro.engine.QueryEngine`
 (``--oracle`` picks the backend, ``--epsilon`` relaxes to
 (1+eps)-approximate answers); ``serve`` runs the asyncio serving
 layer as a stdin/stdout JSON-lines loop (one request object per line;
-see :mod:`repro.serve.protocol`).
+see :mod:`repro.serve.protocol`) -- with ``--trace-file`` it writes
+one JSON-lines trace per request (``--slow-log`` tees the span trees
+of requests over ``--slow-threshold-ms`` to their own file), and a
+``{"kind": "stats"}`` request answers with the unified metrics
+registry; ``trace-report`` aggregates a trace file into the per-stage
+latency/counted-op breakdown (``--record`` appends the run's request
+percentiles to the serving-latency trajectory ``bench-report`` prints
+and CI regression-gates).
 
 Index paths ending in ``.npz`` use the compressed archive layout; any
 other path is a *directory* of raw ``.npy`` columns, which the query
@@ -39,7 +46,7 @@ import time
 from pathlib import Path
 
 from repro.benchreport import DEFAULT_PATH as BUILD_TIMES_PATH
-from repro.benchreport import append_build_time, report_file
+from repro.benchreport import SERVE_LATENCY_PATH, append_build_time, report_file
 from repro.datasets import random_vertex_objects
 from repro.engine import QueryEngine
 from repro.network import (
@@ -291,6 +298,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine.oracles, constants=constants, storage=engine.storage
         )
 
+    tracer = None
+    sinks = []
+    if args.trace_file or args.slow_log:
+        from repro.obs import JsonlTraceSink, SlowQueryLog, Tracer
+
+        trace_sink = None
+        if args.trace_file:
+            trace_sink = JsonlTraceSink(args.trace_file)
+            sinks.append(trace_sink)
+        slow_log = None
+        if args.slow_log:
+            slow_sink = JsonlTraceSink(args.slow_log)
+            sinks.append(slow_sink)
+            slow_log = SlowQueryLog(
+                args.slow_threshold_ms / 1000.0, sink=slow_sink
+            )
+        tracer = Tracer(sink=trace_sink, slow_log=slow_log)
+
     async def run() -> int:
         async with AsyncEngine(
             engine, max_workers=args.workers, shards=args.shards
@@ -303,6 +328,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     rate=args.rate,
                     burst=args.burst,
                 ),
+                tracer=tracer,
             )
             in_stream = open(args.input) if args.input else sys.stdin
             try:
@@ -311,13 +337,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if args.input:
                     in_stream.close()
         print(snapshot.format(), file=sys.stderr)
+        if tracer is not None:
+            extras = [f"{tracer.finished} traces"]
+            if args.trace_file:
+                extras.append(f"-> {args.trace_file}")
+            if tracer.slow_log is not None:
+                extras.append(
+                    f"({tracer.slow_log.captured} over "
+                    f"{args.slow_threshold_ms:.0f} ms -> {args.slow_log})"
+                )
+            print(" ".join(extras), file=sys.stderr)
         return 0
 
-    return asyncio.run(run())
+    try:
+        return asyncio.run(run())
+    finally:
+        for sink in sinks:
+            sink.close()
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import format_trace_report, load_trace_file, request_percentiles
+
+    try:
+        traces = load_trace_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"bad trace file: {exc}", file=sys.stderr)
+        return 1
+    print(format_trace_report(traces))
+    if args.record:
+        if not traces:
+            print("nothing to record: no traces", file=sys.stderr)
+            return 1
+        from repro.benchreport import append_serve_latency
+
+        p50, p95, p99 = request_percentiles(traces)
+        append_serve_latency(
+            len(traces), args.shards, p50, p95, p99, path=args.record_path
+        )
+        print(f"recorded serve latency -> {args.record_path}", file=sys.stderr)
+    return 0
 
 
 def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.benchreport import serve_report_file
+
     print(report_file(args.results))
+    print()
+    print("serve latency trajectory:")
+    print(serve_report_file(args.serve_results))
     return 0
 
 
@@ -505,15 +573,49 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--mmap", action="store_true",
                    help="memory-map a directory-layout index")
+    p.add_argument("--trace-file", default=None,
+                   help="append one JSON-lines trace per request "
+                   "(timed spans: admission, sched_wait, plan, "
+                   "oracle:<backend>, shard:<id>, ...); read it back "
+                   "with `repro trace-report`")
+    p.add_argument("--slow-log", default=None,
+                   help="tee the full span trees of requests over "
+                   "--slow-threshold-ms to this JSON-lines file")
+    p.add_argument("--slow-threshold-ms", type=float, default=250.0,
+                   help="latency threshold for --slow-log capture "
+                   "(milliseconds)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
+        "trace-report",
+        help="aggregate a serve --trace-file into a per-stage "
+        "latency/counted-op breakdown",
+    )
+    p.add_argument("trace_file",
+                   help="JSON-lines trace file written by "
+                   "`repro serve --trace-file` (or --slow-log)")
+    p.add_argument("--record", action="store_true",
+                   help="append the run's request-latency percentiles "
+                   "to the serving-latency trajectory")
+    p.add_argument("--record-path", default=str(SERVE_LATENCY_PATH),
+                   help="trajectory file --record appends to "
+                   f"(default: {SERVE_LATENCY_PATH})")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard count tag for --record lines (the trace "
+                   "file does not carry the serve configuration)")
+    p.set_defaults(func=_cmd_trace_report)
+
+    p = sub.add_parser(
         "bench-report",
-        help="print the build-time trajectory recorded by the benchmarks",
+        help="print the build-time and serve-latency trajectories "
+        "recorded by the benchmarks",
     )
     p.add_argument("results", nargs="?", default=str(BUILD_TIMES_PATH),
                    help="path to build_times.txt "
                    f"(default: {BUILD_TIMES_PATH})")
+    p.add_argument("--serve-results", default=str(SERVE_LATENCY_PATH),
+                   help="path to serve_latency.txt "
+                   f"(default: {SERVE_LATENCY_PATH})")
     p.set_defaults(func=_cmd_bench_report)
 
     return parser

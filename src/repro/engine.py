@@ -35,6 +35,7 @@ from typing import Iterable, Iterator
 
 from repro.objects.index import ObjectIndex
 from repro.objects.model import NetworkPosition
+from repro.obs.trace import NULL_TRACE
 from repro.oracle.base import ORACLE_CHOICES
 from repro.oracle.labelling import PrunedLabellingOracle
 from repro.oracle.planner import QueryPlanner
@@ -246,6 +247,7 @@ class QueryEngine:
         exact: bool = False,
         max_distance: float = math.inf,
         oracle: str | None = None,
+        trace=None,
     ) -> KNNResult:
         """One k-nearest-neighbor query through the engine's shared state.
 
@@ -256,17 +258,28 @@ class QueryEngine:
         query (``"auto"``/``"silc"``/``"labels"``/``"ine"``; the
         non-SILC backends always answer exact sorted distances, and
         ``variant``/``max_distance`` apply to the SILC path only).
+        ``trace`` is a :class:`~repro.obs.trace.Trace` to record
+        ``plan`` / ``oracle:<backend>`` spans on; the default no-op
+        trace keeps the query path observation-free.
         """
+        if trace is None:
+            trace = NULL_TRACE
         position = self.resolve(query)
-        backend = self._resolve_backend(oracle, position, k)
+        with trace.span("plan") as plan_span:
+            backend = self._resolve_backend(oracle, position, k)
+            plan_span.annotate(oracle=backend)
         attached, previous = self._attach()
         try:
-            if backend == "silc":
-                return best_first_knn(
-                    self.index, self.object_index, position, k,
-                    variant=variant, exact=exact, max_distance=max_distance,
-                )
-            return self.oracles[backend].knn(position, k)
+            with trace.span(f"oracle:{backend}", oracle=backend) as oracle_span:
+                if backend == "silc":
+                    result = best_first_knn(
+                        self.index, self.object_index, position, k,
+                        variant=variant, exact=exact, max_distance=max_distance,
+                    )
+                else:
+                    result = self.oracles[backend].knn(position, k)
+                oracle_span.add_stats(result.stats)
+            return result
         finally:
             self._restore(attached, previous)
 
@@ -278,6 +291,7 @@ class QueryEngine:
         exact: bool = False,
         epsilon: float = 0.0,
         oracle: str | None = None,
+        trace=None,
     ) -> BatchResult:
         """Answer many kNN queries in one pass over the shared state.
 
@@ -297,7 +311,11 @@ class QueryEngine:
         is the exact path, byte-identical to before the knob existed.
         ``oracle`` selects the backend as in :meth:`knn` (approximate
         search is a SILC capability, so the two knobs are exclusive).
+        ``trace`` records per-query ``plan`` / ``oracle:<backend>``
+        spans exactly as :meth:`knn` does.
         """
+        if trace is None:
+            trace = NULL_TRACE
         if variant not in VARIANTS:
             raise ValueError(
                 f"unknown variant {variant!r}; expected one of {VARIANTS}"
@@ -315,23 +333,29 @@ class QueryEngine:
             for query in queries:
                 position = self.resolve(query)
                 if epsilon > 0:
-                    results.append(
-                        approximate_knn(
+                    with trace.span(
+                        "oracle:silc", oracle="silc", epsilon=epsilon
+                    ) as oracle_span:
+                        result = approximate_knn(
                             self.index, self.object_index, position, k,
                             epsilon=epsilon,
                         )
-                    )
+                        oracle_span.add_stats(result.stats)
+                    results.append(result)
                     continue
-                backend = self._resolve_backend(oracle, position, k)
-                if backend == "silc":
-                    results.append(
-                        best_first_knn(
+                with trace.span("plan") as plan_span:
+                    backend = self._resolve_backend(oracle, position, k)
+                    plan_span.annotate(oracle=backend)
+                with trace.span(f"oracle:{backend}", oracle=backend) as oracle_span:
+                    if backend == "silc":
+                        result = best_first_knn(
                             self.index, self.object_index, position, k,
                             variant=variant, exact=exact,
                         )
-                    )
-                else:
-                    results.append(self.oracles[backend].knn(position, k))
+                    else:
+                        result = self.oracles[backend].knn(position, k)
+                    oracle_span.add_stats(result.stats)
+                results.append(result)
         finally:
             self._restore(attached, previous)
         stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())

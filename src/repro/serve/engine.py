@@ -167,6 +167,7 @@ class AsyncEngine:
         variant: str = "knn",
         exact: bool = False,
         oracle: str | None = None,
+        trace=None,
     ) -> KNNResult:
         if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             # The sharded tier always refines to exact distances (the
@@ -174,9 +175,12 @@ class AsyncEngine:
             # is subsumed rather than forwarded.  Its router prunes by
             # SILC block bounds, so a non-SILC oracle request bypasses
             # the shard tier and runs on the local engine instead.
-            return await self._run(self.shard_group.knn, query, k, variant=variant)
+            return await self._run(
+                self.shard_group.knn, query, k, variant=variant, trace=trace
+            )
         return await self._run(
-            self.engine.knn, query, k, variant=variant, exact=exact, oracle=oracle
+            self.engine.knn, query, k, variant=variant, exact=exact, oracle=oracle,
+            trace=trace,
         )
 
     async def knn_batch(
@@ -186,14 +190,15 @@ class AsyncEngine:
         variant: str = "knn",
         exact: bool = False,
         oracle: str | None = None,
+        trace=None,
     ) -> BatchResult:
         if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             return await self._run(
-                self.shard_group.knn_batch, queries, k, variant=variant
+                self.shard_group.knn_batch, queries, k, variant=variant, trace=trace
             )
         return await self._run(
             self.engine.knn_batch, queries, k, variant=variant, exact=exact,
-            oracle=oracle,
+            oracle=oracle, trace=trace,
         )
 
     async def path(self, source: int, target: int) -> list[int]:

@@ -10,35 +10,35 @@ merged :class:`~repro.query.stats.QueryStats` of everything executed
 Per-request samples (latencies, delays) live in sliding windows of
 the most recent :data:`DEFAULT_WINDOW` observations, so a long-lived
 server's metrics memory stays flat; the scalar counters remain exact
-over the full lifetime.
+over the full lifetime.  The set of *clients* tracked for delay
+percentiles is LRU-bounded too (:data:`DEFAULT_MAX_CLIENTS`): an open
+server fed ever-fresh client ids keeps flat memory, at the price of
+forgetting the delay history of clients idle past the cap.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+from repro.obs.registry import percentiles
 from repro.query.stats import QueryStats
 
 #: Samples kept per sliding window (percentiles reflect recent load).
 DEFAULT_WINDOW = 4096
 
+#: Clients whose delay windows are retained (LRU eviction past this).
+DEFAULT_MAX_CLIENTS = 256
+
 
 def percentile(values, q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]) of a sample."""
-    values = list(values)
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    pos = (len(ordered) - 1) * (q / 100.0)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+    """Linear-interpolated percentile (``q`` in [0, 100]) of a sample.
+
+    One-point convenience over :func:`repro.obs.registry.percentiles`;
+    callers needing several points of the same sample should call that
+    directly -- it sorts once for all of them.
+    """
+    return percentiles(list(values), (q,))[0]
 
 
 @dataclass(frozen=True)
@@ -76,8 +76,10 @@ class ServerMetrics:
     """Mutable accumulator the server feeds; snapshot() to read.
 
     ``window`` bounds every per-request sample series (a deque of the
-    most recent observations), keeping a long-lived server's metrics
-    memory flat.
+    most recent observations) and ``max_clients`` bounds how many
+    clients' delay windows are kept (least-recently-active evicted
+    first), keeping a long-lived server's metrics memory flat on both
+    axes.
     """
 
     served: int = 0
@@ -85,23 +87,33 @@ class ServerMetrics:
     expired: int = 0
     failed: int = 0
     window: int = DEFAULT_WINDOW
+    max_clients: int = DEFAULT_MAX_CLIENTS
     latencies: deque = field(default_factory=deque)
     #: Counted scheduling delays per client (engine queries that ran
-    #: between a request's submit and its first dispatch).
-    sched_delays: dict = field(default_factory=dict)
+    #: between a request's submit and its first dispatch), most
+    #: recently active client last.
+    sched_delays: OrderedDict = field(default_factory=OrderedDict)
     stats: QueryStats = field(default_factory=QueryStats)
 
     def __post_init__(self) -> None:
         if self.window < 1:
             raise ValueError("window must be at least 1 sample")
+        if self.max_clients < 1:
+            raise ValueError("max_clients must be at least 1 client")
         self.latencies = deque(self.latencies, maxlen=self.window)
+        self.sched_delays = OrderedDict(self.sched_delays)
 
     def record_completed(self, client: str, latency: float, sched_delay: int, stats: QueryStats | None = None) -> None:
         self.served += 1
         self.latencies.append(latency)
-        self.sched_delays.setdefault(
-            client, deque(maxlen=self.window)
-        ).append(sched_delay)
+        delays = self.sched_delays.get(client)
+        if delays is None:
+            delays = self.sched_delays[client] = deque(maxlen=self.window)
+        else:
+            self.sched_delays.move_to_end(client)
+        delays.append(sched_delay)
+        while len(self.sched_delays) > self.max_clients:
+            self.sched_delays.popitem(last=False)
         if stats is not None:
             self.stats = self.stats.merge(stats)
 
@@ -119,14 +131,16 @@ class ServerMetrics:
         return percentile([float(d) for d in self.sched_delays.get(client, [])], q)
 
     def snapshot(self, queue_depths: dict[str, int] | None = None, in_flight: int = 0) -> MetricsSnapshot:
+        # One sort yields all three latency percentiles.
+        p50, p95, p99 = percentiles(self.latencies, (50.0, 95.0, 99.0))
         return MetricsSnapshot(
             served=self.served,
             shed=self.shed,
             expired=self.expired,
             failed=self.failed,
-            p50=percentile(self.latencies, 50),
-            p95=percentile(self.latencies, 95),
-            p99=percentile(self.latencies, 99),
+            p50=p50,
+            p95=p95,
+            p99=p99,
             queue_depths=dict(queue_depths or {}),
             in_flight=in_flight,
             stats=self.stats,

@@ -1,7 +1,10 @@
 """Typed request/response protocol for the serving layer.
 
 The serving layer speaks a small, explicit vocabulary: four query
-kinds (``knn``, ``knn_batch``, ``path``, ``distance``), each carried
+kinds (``knn``, ``knn_batch``, ``path``, ``distance``) plus the
+``stats`` monitoring kind (answers immediately with the unified
+metrics-registry snapshot; bypasses admission and scheduling so it
+works *especially* when the server is overloaded), each carried
 by a :class:`Request` tagged with the submitting client and an
 optional deadline, and answered by exactly one of four responses --
 :class:`Completed`, :class:`Rejected` (admission control shed the
@@ -19,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-#: The query kinds the server understands.
-KINDS = ("knn", "knn_batch", "path", "distance")
+#: The request kinds the server understands (four query kinds plus
+#: the ``stats`` monitoring probe).
+KINDS = ("knn", "knn_batch", "path", "distance", "stats")
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,8 @@ class Request:
     @property
     def cost(self) -> int:
         """Admission/scheduling cost: the number of engine queries."""
+        if self.kind == "stats":
+            return 0  # monitoring probes never consume query budget
         if self.kind == "knn_batch":
             return len(self.queries)
         return 1
@@ -107,7 +113,8 @@ class Completed(Response):
     ``knn``: ``{"ids": [...], "distances": [...]}``;
     ``knn_batch``: ``{"ids": [[...], ...], "distances": [[...], ...]}``;
     ``path``: ``{"path": [...], "distance": float}``;
-    ``distance``: ``{"distance": float}``.
+    ``distance``: ``{"distance": float}``;
+    ``stats``: ``{"metrics": <registry snapshot>}``.
     """
 
     result: dict = field(default_factory=dict)
@@ -160,6 +167,8 @@ def request_from_dict(obj: dict) -> Request:
         queries = (obj["source"], obj["target"])
     elif kind == "knn_batch":
         queries = tuple(obj["queries"])
+    elif kind == "stats":
+        queries = ()
     else:
         queries = (obj["query"],)
     return Request(

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from functools import reduce
 from typing import Callable, TextIO
 
+from repro.obs.trace import NullTracer
 from repro.query.stats import QueryStats
 from repro.serve.admission import AdmissionController
 from repro.serve.engine import AsyncEngine
@@ -57,6 +58,9 @@ class _Pending:
     ids: list = field(default_factory=list)
     distances: list = field(default_factory=list)
     stats: list = field(default_factory=list)
+    # Tracing state (no-op objects when tracing is off).
+    trace: object = None
+    wait_span: object = None
 
     @property
     def done(self) -> bool:
@@ -74,6 +78,11 @@ class SILCServer:
         Injectable policy objects; defaults are a chunk-32 fair
         scheduler, a 1024-query in-flight cap with no per-client rate
         limit, and a fresh metrics accumulator.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` to produce per-request span
+        traces; the default :class:`~repro.obs.trace.NullTracer` makes
+        every tracing call a no-op (but still owns the metrics
+        registry the ``stats`` request kind snapshots).
     clock:
         Time source for deadlines and latency (injectable for tests).
     """
@@ -84,12 +93,14 @@ class SILCServer:
         scheduler: FairScheduler | None = None,
         admission: AdmissionController | None = None,
         metrics: ServerMetrics | None = None,
+        tracer=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler if scheduler is not None else FairScheduler()
         self.admission = admission if admission is not None else AdmissionController()
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.clock = clock
         self._cond: asyncio.Condition | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -131,9 +142,19 @@ class SILCServer:
         """Run one request through the full pipeline; await its response."""
         if self._dispatcher is None:
             raise RuntimeError("server not started (use `async with server:`)")
-        admitted, retry_after, reason = self.admission.admit(request)
+        if request.kind == "stats":
+            # Monitoring must answer even (especially) when the server
+            # is saturated: bypass admission and scheduling entirely.
+            return Completed(
+                id=request.id, client=request.client,
+                result={"metrics": self.registry_snapshot()},
+            )
+        trace = self.tracer.trace_request(request)
+        with trace.span("admission"):
+            admitted, retry_after, reason = self.admission.admit(request)
         if not admitted:
             self.metrics.record_shed()
+            trace.finish("rejected")
             return Rejected(
                 id=request.id, client=request.client,
                 retry_after=retry_after, reason=reason,
@@ -142,6 +163,8 @@ class SILCServer:
             request=request,
             submitted=self.clock(),
             future=asyncio.get_running_loop().create_future(),
+            trace=trace,
+            wait_span=trace.begin("sched_wait"),
         )
         async with self._cond:
             self.scheduler.submit(request)
@@ -162,12 +185,37 @@ class SILCServer:
                 # pending entry is gone.)
                 pending.future.cancel()
                 self.admission.release(request)
+            # No-op when _finish already sealed the trace.
+            trace.finish("cancelled")
 
     def snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot(
             queue_depths=self.scheduler.depths(),
             in_flight=self.admission.in_flight,
         )
+
+    def registry_snapshot(self) -> dict:
+        """The unified metrics registry reading the ``stats`` kind ships.
+
+        Absorbs every live accumulator -- server metrics, the
+        planner's decision counts (when a planner exists) and the
+        shard router's prune accounting (when sharded) -- into the
+        tracer's registry, then snapshots it.  Absorption assigns
+        absolutely, so polling any number of times never double
+        counts.
+        """
+        registry = self.tracer.registry
+        registry.absorb_server(self.snapshot())
+        planner = getattr(self.engine.engine, "planner", None)
+        if planner is not None:
+            registry.absorb_planner(planner.stats)
+        shard_group = getattr(self.engine, "shard_group", None)
+        if shard_group is not None:
+            registry.absorb_router(shard_group.router.stats)
+        slow_log = getattr(self.tracer, "slow_log", None)
+        if slow_log is not None:
+            registry.set_gauge("slow_queries_captured", slow_log.captured, stage="serve")
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -196,6 +244,13 @@ class SILCServer:
         request = chunk.request
         now = self.clock()
         waited = now - pending.submitted
+        if pending.wait_span is not None:
+            # First dispatch of this request: the queueing stage ends
+            # here (later chunks of a batch re-enter the scheduler but
+            # the fairness contract is counted, not timed).
+            pending.wait_span.count(sched_delay=self.scheduler.sched_delay(request))
+            pending.wait_span.close()
+            pending.wait_span = None
         if request.deadline is not None and waited > request.deadline:
             self._finish(
                 pending,
@@ -204,34 +259,35 @@ class SILCServer:
             self.metrics.record_expired()
             return
         try:
-            if request.kind == "path":
-                source, target = chunk.queries
-                path = await self.engine.path(source, target)
-                distance = await self.engine.distance(source, target)
-                result = {"path": list(path), "distance": distance}
-            elif request.kind == "distance":
-                source, target = chunk.queries
-                result = {"distance": await self.engine.distance(source, target)}
-            elif request.kind == "knn":
-                r = await self.engine.knn(
-                    chunk.queries[0], request.k,
-                    variant=request.variant, exact=request.exact,
-                    oracle=request.oracle,
-                )
-                pending.stats.append(r.stats)
-                result = {"ids": r.ids(), "distances": r.distances()}
-            else:  # knn_batch chunk
-                batch = await self.engine.knn_batch(
-                    chunk.queries, request.k,
-                    variant=request.variant, exact=request.exact,
-                    oracle=request.oracle,
-                )
-                pending.ids.extend(batch.ids())
-                pending.distances.extend(r.distances() for r in batch.results)
-                pending.stats.append(batch.stats)
-                if not chunk.last:
-                    return  # more chunks of this batch still queued
-                result = {"ids": pending.ids, "distances": pending.distances}
+            with pending.trace.span("execute", kind=request.kind):
+                if request.kind == "path":
+                    source, target = chunk.queries
+                    path = await self.engine.path(source, target)
+                    distance = await self.engine.distance(source, target)
+                    result = {"path": list(path), "distance": distance}
+                elif request.kind == "distance":
+                    source, target = chunk.queries
+                    result = {"distance": await self.engine.distance(source, target)}
+                elif request.kind == "knn":
+                    r = await self.engine.knn(
+                        chunk.queries[0], request.k,
+                        variant=request.variant, exact=request.exact,
+                        oracle=request.oracle, trace=pending.trace,
+                    )
+                    pending.stats.append(r.stats)
+                    result = {"ids": r.ids(), "distances": r.distances()}
+                else:  # knn_batch chunk
+                    batch = await self.engine.knn_batch(
+                        chunk.queries, request.k,
+                        variant=request.variant, exact=request.exact,
+                        oracle=request.oracle, trace=pending.trace,
+                    )
+                    pending.ids.extend(batch.ids())
+                    pending.distances.extend(r.distances() for r in batch.results)
+                    pending.stats.append(batch.stats)
+                    if not chunk.last:
+                        return  # more chunks of this batch still queued
+                    result = {"ids": pending.ids, "distances": pending.distances}
         except Exception as exc:  # noqa: BLE001 - queries surface as Failed
             self.metrics.record_failed()
             self._finish(
@@ -254,6 +310,7 @@ class SILCServer:
     def _finish(self, pending: _Pending, response: Response) -> None:
         if not pending.done:
             self.admission.release(pending.request)
+            pending.trace.finish(response.status)
             pending.future.set_result(response)
 
 

@@ -42,6 +42,7 @@ from time import perf_counter
 from typing import Iterable
 
 from repro.engine import BatchResult
+from repro.obs.trace import NULL_TRACE
 from repro.query.location import (
     location_point,
     resolve_location,
@@ -193,7 +194,7 @@ class PartitionRouter:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def knn(self, query, k: int, variant: str = "knn") -> KNNResult:
+    def knn(self, query, k: int, variant: str = "knn", trace=None) -> KNNResult:
         """One exact kNN query over the sharded object set.
 
         ``query`` accepts the same forms as
@@ -203,14 +204,24 @@ class PartitionRouter:
         changes the answer (workers always refine to exact distances,
         in network-weight units).  The result is sorted by
         ``(distance, oid)``.
+
+        ``trace`` records a ``plan`` span for the shard ordering/prune
+        accounting and one ``shard:<id>`` span per *visited* worker
+        (pruned shards leave no span), with each worker's own spans
+        grafted underneath -- the cross-process half of a request
+        trace.  Tracing only observes: the visit order, bounds and
+        answers are identical with it on or off.
         """
+        if trace is None:
+            trace = NULL_TRACE
         position = resolve_location(self.network, query)
         point = location_point(self.network, position)
         anchors = source_anchors(self.network, position)
 
-        order = sorted(
-            (self.euclid_bound(shard, point), shard) for shard in self.workers
-        )
+        with trace.span("plan", oracle="silc") as plan_span:
+            order = sorted(
+                (self.euclid_bound(shard, point), shard) for shard in self.workers
+            )
         candidates: dict[int, float] = {}
         worker_stats: list[QueryStats] = []
         visited = pruned_e = pruned_l = probes = duplicates = 0
@@ -236,7 +247,17 @@ class PartitionRouter:
             # The current global Dk caps the worker's search: a shard
             # that cannot improve the answer returns almost instantly
             # instead of grinding through a full local search.
-            pairs, stats = self.workers[shard].knn(position, k, variant, bound)
+            with trace.span(f"shard:{shard}", shard=shard) as shard_span:
+                if trace.enabled:
+                    pairs, stats, wspans = self.workers[shard].knn(
+                        position, k, variant, bound, trace=True
+                    )
+                    trace.adopt(wspans, parent=shard_span)
+                else:
+                    pairs, stats = self.workers[shard].knn(
+                        position, k, variant, bound
+                    )
+                shard_span.add_stats(stats)
             visited += 1
             worker_stats.append(stats)
             for oid, distance in pairs:
@@ -246,6 +267,15 @@ class PartitionRouter:
                 else:
                     candidates[oid] = distance
 
+        # The prune accounting lands on the (already closed) plan span
+        # -- the totals are only known after the visit loop, and spans
+        # accept counters until the trace is sealed.
+        plan_span.count(
+            shards_considered=len(order),
+            shards_visited=visited,
+            shards_pruned=pruned_e + pruned_l,
+            bound_probes=probes,
+        )
         top = sorted(candidates.items(), key=lambda item: (item[1], item[0]))[:k]
         neighbors = [
             Neighbor(oid, DistanceInterval.exact(d), distance=d)
@@ -268,11 +298,13 @@ class PartitionRouter:
         return KNNResult(neighbors=neighbors, stats=merged, ordered=True)
 
     def knn_batch(
-        self, queries: Iterable, k: int, variant: str = "knn"
+        self, queries: Iterable, k: int, variant: str = "knn", trace=None
     ) -> BatchResult:
         """Answer a batch through :meth:`knn`, merging per-query stats."""
         t_start = perf_counter()
-        results = [self.knn(query, k, variant=variant) for query in queries]
+        results = [
+            self.knn(query, k, variant=variant, trace=trace) for query in queries
+        ]
         stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())
         return BatchResult(
             results=results, stats=stats, elapsed=perf_counter() - t_start

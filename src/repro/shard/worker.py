@@ -17,12 +17,21 @@ request/response)::
 
     ("ping",)                           -> ("pong", shard_id)
     ("knn", position, k, variant, cap)  -> ("ok", [(oid, distance), ...], QueryStats)
+    ("knn", position, k, variant, cap, True)
+        -> ("ok", [(oid, distance), ...], QueryStats, [span dict, ...])
     ("stop",)                           -> worker exits (no response)
     any failure                         -> ("error", "ExcType: message")
 
 ``cap`` is the router's current global k-th distance (``inf`` until k
 candidates exist): the worker may omit anything farther, which makes
 visits to shards that cannot improve the answer nearly free.
+
+The optional sixth ``knn`` element asks the worker to *trace* the
+query: it runs a local :class:`~repro.obs.trace.Tracer` and ships the
+resulting spans back (absolute ``perf_counter`` times -- the same
+system-wide monotonic clock the parent reads) so the router can graft
+them into the request's trace with :meth:`~repro.obs.trace.Trace.adopt`.
+Untraced requests keep the exact legacy 5-tuple/3-tuple exchange.
 
 :class:`ShardGroup` bundles partitioning, the sharded save, worker
 spawning and the :class:`~repro.shard.router.PartitionRouter` behind
@@ -98,17 +107,42 @@ def _shard_worker_main(
             if kind == "ping":
                 conn.send(("pong", shard_id))
             elif kind == "knn":
-                _, position, k, variant, cap = msg
-                result = engine.knn(
-                    position, k, variant=variant, exact=True, max_distance=cap
-                )
-                conn.send(
-                    (
-                        "ok",
-                        [(n.oid, n.distance) for n in result.neighbors],
-                        result.stats,
+                _, position, k, variant, cap = msg[:5]
+                want_trace = len(msg) > 5 and msg[5]
+                if want_trace:
+                    from repro.obs.trace import Tracer
+
+                    tracer = Tracer()
+                    trace = tracer.start_trace(shard=shard_id)
+                    # Rename the root so adopted spans read as
+                    # worker-side work, not a nested request.
+                    trace.spans[0].name = "worker"
+                    trace.spans[0].labels["shard"] = str(shard_id)
+                    result = engine.knn(
+                        position, k, variant=variant, exact=True,
+                        max_distance=cap, trace=trace,
                     )
-                )
+                    trace.finish("ok")
+                    conn.send(
+                        (
+                            "ok",
+                            [(n.oid, n.distance) for n in result.neighbors],
+                            result.stats,
+                            trace.spans_absolute(),
+                        )
+                    )
+                else:
+                    result = engine.knn(
+                        position, k, variant=variant, exact=True,
+                        max_distance=cap,
+                    )
+                    conn.send(
+                        (
+                            "ok",
+                            [(n.oid, n.distance) for n in result.neighbors],
+                            result.stats,
+                        )
+                    )
             else:
                 conn.send(("error", f"unknown request kind: {kind!r}"))
         except Exception as exc:  # noqa: BLE001 - surfaced to the parent
@@ -149,13 +183,26 @@ class ShardWorker:
         """Round trip a ping; returns the worker's shard id."""
         return self.request(("ping",))[1]
 
-    def knn(self, position, k: int, variant: str, cap: float = float("inf")):
+    def knn(
+        self,
+        position,
+        k: int,
+        variant: str,
+        cap: float = float("inf"),
+        trace: bool = False,
+    ):
         """The shard's k nearest of its own objects, with exact distances.
 
         ``cap`` lets the worker omit objects farther than the caller's
         current global bound.  Returns
-        ``([(oid, distance), ...], QueryStats)``.
+        ``([(oid, distance), ...], QueryStats)``; with ``trace=True``
+        the worker traces the query and a third element carries its
+        span dicts (absolute times, ready for
+        :meth:`~repro.obs.trace.Trace.adopt`).
         """
+        if trace:
+            response = self.request(("knn", position, k, variant, cap, True))
+            return response[1], response[2], response[3]
         response = self.request(("knn", position, k, variant, cap))
         return response[1], response[2]
 
@@ -288,14 +335,14 @@ class ShardGroup:
         """The router's accumulated :class:`RouterStats`."""
         return self.router.stats
 
-    def knn(self, query, k: int, variant: str = "knn"):
+    def knn(self, query, k: int, variant: str = "knn", trace=None):
         """One kNN query, scatter-gathered across the shard workers."""
-        return self.router.knn(query, k, variant=variant)
+        return self.router.knn(query, k, variant=variant, trace=trace)
 
-    def knn_batch(self, queries: Iterable, k: int, variant: str = "knn"):
+    def knn_batch(self, queries: Iterable, k: int, variant: str = "knn", trace=None):
         """A batch of kNN queries (sequential; parallelism comes from
         concurrent callers, e.g. the serving layer's dispatch threads)."""
-        return self.router.knn_batch(queries, k, variant=variant)
+        return self.router.knn_batch(queries, k, variant=variant, trace=trace)
 
     def ping(self) -> list[int]:
         """Round trip every worker; returns the live shard ids."""

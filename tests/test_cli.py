@@ -314,6 +314,93 @@ class TestServe:
         assert record["retry_after"] == 0
 
 
+class TestObservability:
+    def _request_file(self, tmp_path, with_stats=True):
+        infile = tmp_path / "requests.jsonl"
+        requests = [
+            {"id": i, "client": "web", "kind": "knn", "query": q, "k": 3}
+            for i, q in enumerate([0, 5, 37])
+        ]
+        if with_stats:
+            requests.append({"id": 99, "client": "ops", "kind": "stats"})
+        infile.write_text("\n".join(json.dumps(r) for r in requests) + "\n")
+        return infile
+
+    def test_traced_serve_emits_traces_and_stats(self, built, tmp_path,
+                                                 capsys):
+        net_path, idx_path = built
+        trace_path = tmp_path / "trace.jsonl"
+        slow_path = tmp_path / "slow.jsonl"
+        rc = main(["serve", str(net_path), str(idx_path),
+                   "--objects", "20", "--seed", "1",
+                   "--input", str(self._request_file(tmp_path)),
+                   "--trace-file", str(trace_path),
+                   "--slow-log", str(slow_path),
+                   "--slow-threshold-ms", "0"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        records = {json.loads(l)["id"]: json.loads(l)
+                   for l in out.splitlines()}
+        assert all(r["status"] == "ok" for r in records.values())
+        # the stats request returned the live registry over the wire
+        metrics = records[99]["metrics"]
+        counter_names = {c["name"] for c in metrics["counters"]}
+        assert {"requests_total", "traces_total"} <= counter_names
+        # one trace per traced request (stats bypasses tracing)
+        assert "3 traces" in err
+        trace_lines = trace_path.read_text().splitlines()
+        assert len(trace_lines) == 3
+        # threshold 0 sends every trace to the slow log too
+        assert len(slow_path.read_text().splitlines()) == 3
+
+    def test_trace_report_renders_and_records(self, built, tmp_path,
+                                              capsys):
+        net_path, idx_path = built
+        trace_path = tmp_path / "trace.jsonl"
+        main(["serve", str(net_path), str(idx_path),
+              "--objects", "20", "--seed", "1",
+              "--input", str(self._request_file(tmp_path, with_stats=False)),
+              "--trace-file", str(trace_path)])
+        capsys.readouterr()
+        lat_path = tmp_path / "serve_latency.txt"
+        assert main(["trace-report", str(trace_path),
+                     "--record", "--record-path", str(lat_path),
+                     "--shards", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "traces: 3" in out
+        assert "p95_ms" in out
+        from repro.benchreport import parse_serve_latency
+
+        [row] = parse_serve_latency(lat_path.read_text())
+        assert (row.requests, row.shards) == (3, 1)
+        assert row.p95 >= row.p50 >= 0.0
+
+    def test_trace_report_fails_loudly_on_bad_input(self, tmp_path, capsys):
+        bad = tmp_path / "trace.jsonl"
+        bad.write_text('{"trace": "t-1"}\n')  # missing required keys
+        assert main(["trace-report", str(bad)]) == 1
+        assert "missing key" in capsys.readouterr().err
+        assert main(["trace-report", str(tmp_path / "absent.jsonl")]) == 1
+
+    def test_sharded_traced_serve_carries_worker_spans(self, built,
+                                                       tmp_path, capsys):
+        net_path, idx_path = built
+        trace_path = tmp_path / "trace.jsonl"
+        rc = main(["serve", str(net_path), str(idx_path),
+                   "--objects", "20", "--seed", "1", "--shards", "2",
+                   "--input",
+                   str(self._request_file(tmp_path, with_stats=False)),
+                   "--trace-file", str(trace_path)])
+        assert rc == 0
+        capsys.readouterr()
+        from repro.obs import load_trace_file
+
+        traces = load_trace_file(trace_path)  # validates every span
+        names = {s["name"] for t in traces for s in t["spans"]}
+        assert any(n.startswith("shard:") for n in names)
+        assert "worker" in names
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -64,3 +64,33 @@ class TestServerMetrics:
     def test_window_validated(self):
         with pytest.raises(ValueError):
             ServerMetrics(window=0)
+
+    def test_client_set_is_lru_bounded(self):
+        """Satellite: ever-fresh client ids cannot grow memory."""
+        m = ServerMetrics(max_clients=3)
+        for i in range(10):
+            m.record_completed(f"c{i}", 0.001, i)
+        assert set(m.sched_delays) == {"c7", "c8", "c9"}
+        # activity refreshes recency: touching the oldest keeps it
+        m.record_completed("c7", 0.001, 1)
+        m.record_completed("c10", 0.001, 1)
+        assert set(m.sched_delays) == {"c9", "c7", "c10"}
+        # lifetime counters are exact regardless of eviction
+        assert m.served == 12
+        # an evicted client reads like an absent one
+        assert m.delay_percentile("c0", 50) == 0.0
+
+    def test_max_clients_validated(self):
+        with pytest.raises(ValueError):
+            ServerMetrics(max_clients=0)
+
+    def test_snapshot_percentiles_agree_with_single_calls(self):
+        """Satellite micro-test: the one-sort snapshot matches the
+        per-point reference for every quantile."""
+        m = ServerMetrics()
+        for i in range(17):
+            m.record_completed("web", float((i * 7) % 17), 0)
+        snap = m.snapshot()
+        assert snap.p50 == pytest.approx(percentile(m.latencies, 50))
+        assert snap.p95 == pytest.approx(percentile(m.latencies, 95))
+        assert snap.p99 == pytest.approx(percentile(m.latencies, 99))

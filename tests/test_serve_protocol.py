@@ -15,8 +15,8 @@ from repro.serve import (
 
 
 class TestRequestValidation:
-    def test_kinds_are_the_documented_four(self):
-        assert KINDS == ("knn", "knn_batch", "path", "distance")
+    def test_kinds_are_the_documented_five(self):
+        assert KINDS == ("knn", "knn_batch", "path", "distance", "stats")
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown request kind"):
@@ -39,6 +39,13 @@ class TestRequestValidation:
         assert Request(id=1, client="a", kind="knn_batch", queries=(1, 2, 3)).cost == 3
         assert Request(id=1, client="a", kind="path", queries=(0, 9)).cost == 1
         assert Request(id=1, client="a", kind="distance", queries=(0, 9)).cost == 1
+        # Monitoring probes are free: they bypass admission entirely.
+        assert Request(id=1, client="a", kind="stats").cost == 0
+
+    def test_stats_kind_needs_no_queries(self):
+        req = request_from_dict({"kind": "stats", "client": "ops"})
+        assert req.kind == "stats"
+        assert req.queries == ()
 
 
 class TestWireFormat:

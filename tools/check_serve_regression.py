@@ -1,0 +1,73 @@
+"""Gate serving p95 latency against the committed trajectory.
+
+CI appends a fresh ``repro trace-report --record`` row to a copy of
+``benchmarks/results/serve_latency.txt`` and runs this script on it:
+the *last* row of each shard group is the fresh run, every earlier
+row is history, and the check fails when the fresh p95 exceeds
+``max(ratio * median(history), floor)``.
+
+The ratio is deliberately loose and a wall-clock floor always
+applies: shared CI runners are noisy, and this gate exists to catch
+order-of-magnitude rot (a lock on the hot path, an accidental
+re-sort per request), not single-digit-percent drift -- the
+counted-op benchmarks own the fine-grained regressions.  A shard
+group with no history passes (first recorded run *is* the baseline).
+
+Usage: check_serve_regression.py serve_latency.txt \
+           [--max-ratio 10.0] [--floor-ms 50.0]
+Needs ``PYTHONPATH=src`` for :mod:`repro.benchreport`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from statistics import median
+
+from repro.benchreport import parse_serve_latency
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trajectory", help="serve_latency.txt with the fresh run appended")
+    parser.add_argument("--max-ratio", type=float, default=10.0,
+                        help="fail when fresh p95 > ratio * median(history)")
+    parser.add_argument("--floor-ms", type=float, default=50.0,
+                        help="never fail below this absolute p95 "
+                        "(CI-hardware noise floor, milliseconds)")
+    args = parser.parse_args(argv)
+
+    records = parse_serve_latency(Path(args.trajectory).read_text())
+    if not records:
+        print("serve-regression: no records; nothing to check")
+        return 0
+
+    groups: dict[int, list] = {}
+    for record in records:
+        groups.setdefault(record.shards, []).append(record)
+
+    failed = False
+    for shards, rs in sorted(groups.items()):
+        fresh, history = rs[-1], rs[:-1]
+        if not history:
+            print(
+                f"serve-regression: shards={shards} "
+                f"p95={fresh.p95 * 1e3:.2f} ms -- first run, baseline set"
+            )
+            continue
+        baseline = median(r.p95 for r in history)
+        limit = max(args.max_ratio * baseline, args.floor_ms / 1e3)
+        verdict = "ok" if fresh.p95 <= limit else "REGRESSION"
+        print(
+            f"serve-regression: shards={shards} "
+            f"p95={fresh.p95 * 1e3:.2f} ms vs baseline "
+            f"{baseline * 1e3:.2f} ms (limit {limit * 1e3:.2f} ms) -- {verdict}"
+        )
+        if fresh.p95 > limit:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
