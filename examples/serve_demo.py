@@ -31,6 +31,29 @@ from repro.serve import (
 )
 
 
+async def submit_with_retry(server, request, *, max_attempts=5, cap=2.0):
+    """Submit honouring the server's retry contract (see
+    :mod:`repro.serve.protocol`).
+
+    A shed response carries ``retry_after`` -- the server's own estimate
+    of when capacity frees up.  The client waits at least that long,
+    scaled by capped exponential backoff (``retry_after * 2**(attempt-1)``,
+    never more than ``cap`` seconds) so a herd of retrying clients
+    spreads out instead of stampeding the admission controller.  A
+    ``retry_after`` of 0 means the request itself is the problem
+    (request_too_large): resubmitting verbatim can never succeed, so
+    the shed response is returned as-is for the caller to split.
+    """
+    response = await server.submit(request)
+    for attempt in range(1, max_attempts):
+        if response.status != "shed" or not response.retry_after:
+            return response
+        wait = min(cap, response.retry_after * 2 ** (attempt - 1))
+        await asyncio.sleep(wait)
+        response = await server.submit(request)
+    return response
+
+
 async def main() -> None:
     # 1. One built index + engine, exactly as in examples/quickstart.py.
     net = road_like_network(400, seed=7)
@@ -82,9 +105,12 @@ async def main() -> None:
             #    batch that could never fit is refused outright
             #    (request_too_large, retry_after 0: split it); an
             #    over-capacity moment gets a finite retry-after.
+            #    submit_with_retry honours that contract: it backs off
+            #    by retry_after (doubling, capped) before resubmitting,
+            #    and gives up immediately on retry_after 0.
             flood = Request(id="flood", client="bulk", kind="knn_batch",
                             queries=tuple(range(5000)), k=3, exact=False)
-            response = await server.submit(flood)
+            response = await submit_with_retry(server, flood)
             print(
                 f"\nflood of {flood.cost} queries: {response.status} "
                 f"({response.reason}, retry_after {response.retry_after:.2f}s)"

@@ -37,6 +37,13 @@ Quick start::
 """
 
 from repro.engine import BatchResult, QueryEngine
+from repro.errors import (
+    CorruptIndexError,
+    DeadlineExceeded,
+    ShardUnavailable,
+    WorkerDied,
+)
+from repro.faults import FaultInjector
 from repro.geometry import GridEmbedding, Point, Rect
 from repro.network import (
     SpatialNetwork,
@@ -127,5 +134,10 @@ __all__ = [
     "StorageSimulator",
     "LRUCache",
     "PageLayout",
+    "CorruptIndexError",
+    "DeadlineExceeded",
+    "WorkerDied",
+    "ShardUnavailable",
+    "FaultInjector",
     "__version__",
 ]

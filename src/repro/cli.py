@@ -316,9 +316,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         tracer = Tracer(sink=trace_sink, slow_log=slow_log)
 
+    fault_injector = None
+    if getattr(args, "inject_kill", None):
+        from repro.faults import FaultInjector
+
+        fault_injector = FaultInjector()
+        for spec in args.inject_kill:
+            try:
+                shard_text, nth_text = spec.split(":", 1)
+                fault_injector.kill_worker_at(int(shard_text), int(nth_text))
+            except ValueError:
+                print(
+                    f"bad --inject-kill {spec!r}: expected SHARD:N "
+                    "(e.g. 0:3 kills shard 0's worker before its 3rd "
+                    "request)",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.shards < 2:
+            print(
+                "--inject-kill needs the shard tier (--shards > 1)",
+                file=sys.stderr,
+            )
+            return 2
+
     async def run() -> int:
         async with AsyncEngine(
-            engine, max_workers=args.workers, shards=args.shards
+            engine, max_workers=args.workers, shards=args.shards,
+            on_shard_failure=args.on_shard_failure,
+            max_retries=args.max_retries,
+            fault_injector=fault_injector,
         ) as async_engine:
             server = SILCServer(
                 async_engine,
@@ -564,6 +591,24 @@ def make_parser() -> argparse.ArgumentParser:
                    "ranges and a router prunes shards by distance "
                    "bound (1 = in-process, no sharding; the shard "
                    "tier serves the silc backend only)")
+    p.add_argument("--on-shard-failure",
+                   choices=["respawn", "failover", "degrade", "error"],
+                   default="respawn",
+                   help="policy when a shard worker dies: respawn "
+                   "(backoff, respawn, replay the request), failover "
+                   "(answer on the unsharded engine while the worker "
+                   "respawns in the background), degrade (answer from "
+                   "the surviving shards, response flagged degraded), "
+                   "or error (surface the failure)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="respawn+replay attempts per request before "
+                   "the shard is declared unavailable")
+    p.add_argument("--inject-kill", action="append", default=[],
+                   metavar="SHARD:N",
+                   help="fault injection (repeatable): kill the given "
+                   "shard's worker immediately before its Nth request, "
+                   "exercising the recovery path deterministically "
+                   "(chaos testing; requires --shards > 1)")
     p.add_argument(
         "--oracle",
         choices=list(ORACLE_CHOICES),

@@ -33,6 +33,7 @@ from functools import reduce
 from time import perf_counter
 from typing import Iterable, Iterator
 
+from repro.errors import DeadlineExceeded
 from repro.objects.index import ObjectIndex
 from repro.objects.model import NetworkPosition
 from repro.obs.trace import NULL_TRACE
@@ -248,6 +249,7 @@ class QueryEngine:
         max_distance: float = math.inf,
         oracle: str | None = None,
         trace=None,
+        time_cap: float | None = None,
     ) -> KNNResult:
         """One k-nearest-neighbor query through the engine's shared state.
 
@@ -261,9 +263,19 @@ class QueryEngine:
         ``trace`` is a :class:`~repro.obs.trace.Trace` to record
         ``plan`` / ``oracle:<backend>`` spans on; the default no-op
         trace keeps the query path observation-free.
+        ``time_cap`` is the query's remaining deadline budget in
+        seconds: the SILC search aborts with
+        :class:`~repro.errors.DeadlineExceeded` when it runs out, so
+        execution (not just queueing) honors end-to-end deadlines.
+        The non-SILC backends answer in near-constant time per query
+        and are checked once, up front.
         """
         if trace is None:
             trace = NULL_TRACE
+        if time_cap is not None and time_cap <= 0:
+            raise DeadlineExceeded(
+                f"query dispatched with no remaining budget ({time_cap:.4f}s)"
+            )
         position = self.resolve(query)
         with trace.span("plan") as plan_span:
             backend = self._resolve_backend(oracle, position, k)
@@ -275,6 +287,7 @@ class QueryEngine:
                     result = best_first_knn(
                         self.index, self.object_index, position, k,
                         variant=variant, exact=exact, max_distance=max_distance,
+                        time_budget=time_cap,
                     )
                 else:
                     result = self.oracles[backend].knn(position, k)
@@ -292,6 +305,7 @@ class QueryEngine:
         epsilon: float = 0.0,
         oracle: str | None = None,
         trace=None,
+        time_cap: float | None = None,
     ) -> BatchResult:
         """Answer many kNN queries in one pass over the shared state.
 
@@ -313,6 +327,10 @@ class QueryEngine:
         search is a SILC capability, so the two knobs are exclusive).
         ``trace`` records per-query ``plan`` / ``oracle:<backend>``
         spans exactly as :meth:`knn` does.
+        ``time_cap`` bounds the *whole batch* in seconds; each query's
+        SILC search receives the budget remaining when it starts and
+        :class:`~repro.errors.DeadlineExceeded` aborts the batch when
+        it runs out.
         """
         if trace is None:
             trace = NULL_TRACE
@@ -331,6 +349,14 @@ class QueryEngine:
         attached, previous = self._attach()
         try:
             for query in queries:
+                budget = None
+                if time_cap is not None:
+                    budget = time_cap - (perf_counter() - t_start)
+                    if budget <= 0:
+                        raise DeadlineExceeded(
+                            f"batch exceeded its {time_cap:.4f}s budget "
+                            f"after {len(results)} of its queries"
+                        )
                 position = self.resolve(query)
                 if epsilon > 0:
                     with trace.span(
@@ -350,7 +376,7 @@ class QueryEngine:
                     if backend == "silc":
                         result = best_first_knn(
                             self.index, self.object_index, position, k,
-                            variant=variant, exact=exact,
+                            variant=variant, exact=exact, time_budget=budget,
                         )
                     else:
                         result = self.oracles[backend].knn(position, k)

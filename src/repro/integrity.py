@@ -1,0 +1,220 @@
+"""Crash-safe persistence: atomic directory saves + checksum manifests.
+
+An interrupted ``SILCIndex.save`` or ``repro build-labels`` used to
+leave a silently-corrupt directory: half-written ``.npy`` columns that
+load fine until a query walks off the truncated end.  This module
+gives every directory-layout writer the same two defenses:
+
+* **Atomicity** -- :func:`atomic_directory` stages the write in a
+  sibling temporary directory and publishes it with ``os.replace``,
+  so readers only ever see the old state or the complete new state
+  (an interrupted save leaves the target untouched).
+* **Verification** -- :func:`write_manifest` records every payload
+  file's size and CRC-32 in ``MANIFEST.json`` (written last);
+  :func:`verify_manifest` re-checks them at load time and raises
+  :class:`~repro.errors.CorruptIndexError` naming the bad column
+  *before* any query runs.  ``deep=False`` checks sizes only (an
+  O(1) ``stat`` per file -- the mmap cold-start path keeps its O(1)
+  contract and still catches truncation); ``deep=True`` streams every
+  byte through the checksum.
+
+Directories written before manifests existed verify trivially (no
+manifest, nothing to check) but still get :func:`checked_load`'s
+parse-error wrapping, so a truncated legacy column fails with a named
+:class:`CorruptIndexError` rather than a bare numpy ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import CorruptIndexError
+
+#: Manifest file name inside every verified directory save.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest schema version (bump on incompatible change).
+MANIFEST_FORMAT = 1
+
+_CHUNK = 1 << 20
+
+
+def file_checksum(path: str | Path) -> int:
+    """Streaming CRC-32 of one file (flat memory for any size)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def write_manifest(directory: str | Path) -> Path:
+    """Record size + CRC-32 of every payload file under ``directory``.
+
+    Covers regular files in the directory itself (not subdirectories:
+    a sharded save gives each ``shard_NNNN/`` its own manifest so
+    workers verify only the slice they load).  The manifest itself is
+    written atomically (tmp + ``os.replace``) and *last*, so a crash
+    mid-save leaves a directory whose missing/stale manifest is
+    detectable rather than a silently inconsistent one.
+    """
+    directory = Path(directory)
+    files = {}
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.name == MANIFEST_NAME:
+            continue
+        files[path.name] = {
+            "size": path.stat().st_size,
+            "crc32": file_checksum(path),
+        }
+    manifest = {"format": MANIFEST_FORMAT, "files": files}
+    target = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=0, sort_keys=True))
+    os.replace(tmp, target)
+    return target
+
+
+def read_manifest(directory: str | Path) -> dict | None:
+    """The parsed manifest of ``directory``, or None when absent."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorruptIndexError(
+            f"unreadable manifest {path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or "files" not in manifest:
+        raise CorruptIndexError(f"malformed manifest {path}")
+    return manifest
+
+
+def verify_manifest(directory: str | Path, deep: bool = False) -> bool:
+    """Check ``directory`` against its manifest; raise on mismatch.
+
+    Returns True when a manifest was present and every listed file
+    matched, False when no manifest exists (legacy save -- nothing to
+    verify).  ``deep=True`` additionally re-computes each file's
+    CRC-32; the default checks existence + size only, which is what
+    catches the common failure (a truncated write) at O(1) cost per
+    file.  Raises :class:`CorruptIndexError` naming the first bad
+    column.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    if manifest is None:
+        return False
+    for name, expected in sorted(manifest["files"].items()):
+        column = name.removesuffix(".npy")
+        path = directory / name
+        if not path.exists():
+            raise CorruptIndexError(
+                f"corrupt index {directory}: column {column!r} is missing "
+                f"({name} not found)",
+                column=column,
+            )
+        size = path.stat().st_size
+        if size != expected["size"]:
+            raise CorruptIndexError(
+                f"corrupt index {directory}: column {column!r} is "
+                f"truncated or resized ({size} bytes on disk, manifest "
+                f"says {expected['size']})",
+                column=column,
+            )
+        if deep and file_checksum(path) != expected["crc32"]:
+            raise CorruptIndexError(
+                f"corrupt index {directory}: column {column!r} fails its "
+                "checksum (bytes changed since the save)",
+                column=column,
+            )
+    return True
+
+
+def checked_load(
+    directory: str | Path, name: str, mmap_mode: str | None = None
+) -> np.ndarray:
+    """``np.load`` of one column file with typed failure.
+
+    Any read/parse failure -- missing file, truncated data, a header
+    numpy cannot parse, an mmap longer than the file -- surfaces as
+    :class:`CorruptIndexError` naming the column, so callers never see
+    a bare ``ValueError`` from deep inside numpy.
+    """
+    column = name.removesuffix(".npy")
+    path = Path(directory) / name
+    try:
+        return np.load(path, mmap_mode=mmap_mode)
+    except FileNotFoundError as exc:
+        raise CorruptIndexError(
+            f"corrupt or incomplete index {directory}: column {column!r} "
+            f"is missing",
+            column=column,
+        ) from exc
+    except (ValueError, OSError, EOFError) as exc:
+        raise CorruptIndexError(
+            f"corrupt index {directory}: column {column!r} failed to "
+            f"load: {exc}",
+            column=column,
+        ) from exc
+
+
+@contextmanager
+def atomic_directory(path: str | Path) -> Iterator[Path]:
+    """Stage a directory write, then publish it atomically.
+
+    Yields a temporary sibling directory for the caller to fill.  On
+    clean exit, a manifest is written into it and it is renamed over
+    ``path`` (an existing target is renamed aside first, then
+    removed).  On exception the staging directory is deleted and the
+    target is left exactly as it was -- an interrupted save can never
+    leave a half-written index in place.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    try:
+        yield tmp
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    write_manifest(tmp)
+    if path.exists():
+        old = path.with_name(f".{path.name}.old-{os.getpid()}")
+        if old.exists():
+            shutil.rmtree(old)
+        os.replace(path, old)
+        os.replace(tmp, path)
+        shutil.rmtree(old, ignore_errors=True)
+    else:
+        os.replace(tmp, path)
+
+
+def atomic_save_npz(path: str | Path, **arrays) -> None:
+    """``np.savez_compressed`` through a tmp file + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # The tmp name keeps the .npz suffix so np.savez does not append
+    # another one.
+    tmp = path.with_name(f".{path.stem}.tmp-{os.getpid()}.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise

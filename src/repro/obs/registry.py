@@ -169,6 +169,7 @@ class MetricsRegistry:
                 self.set_counter(
                     "engine_ops_total", value, stage="engine", op=op
                 )
+        self.absorb_server_aborts(snapshot)
 
     def absorb_planner(self, stats) -> None:
         """Mirror a :class:`~repro.oracle.planner.PlannerStats`."""
@@ -208,6 +209,41 @@ class MetricsRegistry:
             stats.duplicates_merged,
             stage="route",
         )
+
+    def absorb_server_aborts(self, snapshot) -> None:
+        """Mirror the fault-path counters of a
+        :class:`~repro.serve.metrics.MetricsSnapshot` (deadline aborts
+        and degraded completions); split out so legacy snapshots
+        without the fields absorb cleanly."""
+        self.set_counter(
+            "fault_events_total",
+            getattr(snapshot, "deadline_aborts", 0),
+            stage="serve", event="deadline_abort",
+        )
+        self.set_counter(
+            "fault_events_total",
+            getattr(snapshot, "degraded", 0),
+            stage="serve", event="degraded_response",
+        )
+
+    def absorb_supervisor(self, stats) -> None:
+        """Mirror a :class:`~repro.shard.supervisor.SupervisorStats`.
+
+        Every fault event lands in one ``fault_events_total`` family
+        (labelled by event), so a dashboard -- or the chaos benchmark
+        -- reads the whole recovery story from one counter name.
+        """
+        for event, value in (
+            ("worker_crash", stats.worker_crashes),
+            ("respawn", stats.respawns),
+            ("respawn_failure", stats.respawn_failures),
+            ("retry", stats.retries),
+            ("failover", stats.failovers),
+            ("degraded_response", stats.degraded_responses),
+        ):
+            self.set_counter(
+                "fault_events_total", value, stage="shard", event=event
+            )
 
     def absorb_build(self, stats) -> None:
         """Mirror a :class:`~repro.silc.parallel.BuildTransferStats`."""

@@ -38,6 +38,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.integrity import atomic_directory, checked_load, verify_manifest
 from repro.network.graph import SpatialNetwork
 from repro.oracle.base import DistanceOracle, OracleInfo
 from repro.query.results import KNNResult
@@ -329,11 +330,16 @@ class PrunedLabellingOracle(DistanceOracle):
         ``path`` is a directory (created if missing) -- conventionally
         the ``labels/`` subdirectory of a directory-layout SILC index,
         so one index directory carries both backends side by side.
+
+        The write is crash-safe: columns are staged in a temporary
+        sibling, a checksum ``MANIFEST.json`` is written last, and the
+        directory is published atomically with ``os.replace`` -- an
+        interrupted ``repro build-labels`` leaves the previous
+        labelling (or nothing), never a half-written one.
         """
-        directory = Path(path)
-        directory.mkdir(parents=True, exist_ok=True)
-        for name, array in self.column_arrays().items():
-            np.save(directory / f"{name}.npy", array)
+        with atomic_directory(path) as tmp:
+            for name, array in self.column_arrays().items():
+                np.save(tmp / f"{name}.npy", array)
 
     @classmethod
     def load(
@@ -345,11 +351,17 @@ class PrunedLabellingOracle(DistanceOracle):
         touches O(num_vertices) offset bytes and label pages fault in
         on first scan -- the same contract as
         :meth:`SILCIndex.load(mmap=True) <repro.silc.SILCIndex.load>`.
+
+        The saved manifest is verified first (sizes always, checksums
+        on eager loads); a truncated or corrupted column raises
+        :class:`~repro.errors.CorruptIndexError` naming it before any
+        query can run.
         """
         directory = Path(path)
         mode = "r" if mmap else None
+        verify_manifest(directory, deep=not mmap)
         columns = {
-            name: np.load(directory / f"{name}.npy", mmap_mode=mode)
+            name: checked_load(directory, f"{name}.npy", mmap_mode=mode)
             for name in LABEL_COLUMNS
         }
         return cls(network, columns)

@@ -34,6 +34,7 @@ import math
 from bisect import bisect_left, insort
 from time import perf_counter
 
+from repro.errors import DeadlineExceeded
 from repro.objects.index import ObjectIndex
 from repro.objects.model import NetworkPosition
 from repro.query.distances import ObjectDistanceState, QueryHandle
@@ -148,6 +149,7 @@ def best_first_knn(
     variant: str = "knn",
     exact: bool = False,
     max_distance: float = math.inf,
+    time_budget: float | None = None,
 ) -> KNNResult:
     """Find the ``k`` network-nearest objects to ``query``.
 
@@ -180,6 +182,16 @@ def best_first_knn(
         router passes its current global k-th distance here, turning
         visits to far shards into near no-ops.  ``inf`` (the default)
         disables the cap.
+    time_budget:
+        Remaining wall-clock budget in seconds for this search.  When
+        it runs out -- in the main loop, the exact-refinement pass, or
+        the fallback fill -- :class:`~repro.errors.DeadlineExceeded`
+        is raised so the caller never receives a late (or partially
+        refined) result.  ``None`` (the default) disables the cap and
+        keeps the historical behavior byte-for-byte: the deadline is
+        only ever *checked*, never used to alter the search order, so
+        a query that finishes within budget returns the identical
+        answer it would have without one.
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
@@ -190,6 +202,20 @@ def best_first_knn(
     cap = math.nextafter(max_distance, math.inf)
 
     t_start = perf_counter()
+    deadline = None if time_budget is None else t_start + time_budget
+
+    def check_deadline(confirmed_count: int) -> None:
+        if deadline is not None and perf_counter() > deadline:
+            raise DeadlineExceeded(
+                f"kNN search exceeded its {time_budget:.4f}s budget "
+                f"({confirmed_count} of {k} neighbors confirmed)"
+            )
+
+    if time_budget is not None and time_budget <= 0:
+        raise DeadlineExceeded(
+            f"kNN search started with no remaining budget "
+            f"({time_budget:.4f}s)"
+        )
     stats = QueryStats()
     counter = RefinementCounter()
     position: NetworkPosition = resolve_location(index.network, query)
@@ -229,6 +255,7 @@ def best_first_knn(
         push(handle.block_bound(root), _NODE, root)
 
     while heap and len(confirmed) < k:
+        check_deadline(len(confirmed))
         lo, _, kind, payload = heapq.heappop(heap)
         if kind == _NODE and kmin_tracker is not None:
             kmin_tracker.block_popped(lo)
@@ -336,6 +363,7 @@ def best_first_knn(
         remaining.sort(key=lambda s: s.interval.lo)
         fill = remaining[: k - len(result_states)]
         for s in fill:
+            check_deadline(len(result_states))
             s.refine_fully()
         fill.sort(key=lambda s: s.interval.lo)
         result_states.extend(fill)
@@ -345,6 +373,7 @@ def best_first_knn(
     if exact:
         before = counter.count
         for s in result_states:
+            check_deadline(len(result_states))
             s.refine_fully()
         post_refinements = counter.count - before
         stats.extras["post_refinements"] = post_refinements

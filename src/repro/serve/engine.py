@@ -80,6 +80,15 @@ class AsyncEngine:
     shard_dir:
         Directory for the sharded store layout (default: a private
         temporary directory, removed on :meth:`close`).
+    on_shard_failure / max_retries / fault_injector:
+        Shard-tier fault handling, forwarded to
+        :meth:`~repro.shard.ShardGroup.from_engine`:
+        ``on_shard_failure`` picks the supervision policy (``respawn``
+        / ``failover`` / ``degrade`` / ``error``), ``max_retries``
+        bounds respawn+replay attempts per request, and
+        ``fault_injector`` plugs a deterministic
+        :class:`~repro.faults.FaultInjector` into the worker request
+        path for chaos tests.  All ignored when ``shards == 1``.
     """
 
     def __init__(
@@ -88,6 +97,9 @@ class AsyncEngine:
         max_workers: int = 1,
         shards: int = 1,
         shard_dir=None,
+        on_shard_failure: str = "respawn",
+        max_retries: int = 2,
+        fault_injector=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -109,7 +121,9 @@ class AsyncEngine:
             from repro.shard import ShardGroup
 
             self.shard_group = ShardGroup.from_engine(
-                engine, shards, directory=shard_dir
+                engine, shards, directory=shard_dir,
+                on_failure=on_shard_failure, max_retries=max_retries,
+                fault_injector=fault_injector,
             )
         self._closed = False
 
@@ -168,6 +182,7 @@ class AsyncEngine:
         exact: bool = False,
         oracle: str | None = None,
         trace=None,
+        time_cap: float | None = None,
     ) -> KNNResult:
         if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             # The sharded tier always refines to exact distances (the
@@ -176,11 +191,12 @@ class AsyncEngine:
             # SILC block bounds, so a non-SILC oracle request bypasses
             # the shard tier and runs on the local engine instead.
             return await self._run(
-                self.shard_group.knn, query, k, variant=variant, trace=trace
+                self.shard_group.knn, query, k, variant=variant, trace=trace,
+                time_cap=time_cap,
             )
         return await self._run(
             self.engine.knn, query, k, variant=variant, exact=exact, oracle=oracle,
-            trace=trace,
+            trace=trace, time_cap=time_cap,
         )
 
     async def knn_batch(
@@ -191,14 +207,16 @@ class AsyncEngine:
         exact: bool = False,
         oracle: str | None = None,
         trace=None,
+        time_cap: float | None = None,
     ) -> BatchResult:
         if self.shard_group is not None and self._effective_oracle(oracle) == "silc":
             return await self._run(
-                self.shard_group.knn_batch, queries, k, variant=variant, trace=trace
+                self.shard_group.knn_batch, queries, k, variant=variant,
+                trace=trace, time_cap=time_cap,
             )
         return await self._run(
             self.engine.knn_batch, queries, k, variant=variant, exact=exact,
-            oracle=oracle, trace=trace,
+            oracle=oracle, trace=trace, time_cap=time_cap,
         )
 
     async def path(self, source: int, target: int) -> list[int]:

@@ -43,7 +43,13 @@ def percentile(values, q: float) -> float:
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """One immutable reading of the server's counters."""
+    """One immutable reading of the server's counters.
+
+    ``deadline_aborts`` counts the subset of ``expired`` whose budget
+    ran out *mid-execution* (the engine's time cap stopped the
+    search); ``degraded`` counts completed responses answered around a
+    down shard under the ``degrade`` fault policy.
+    """
 
     served: int
     shed: int
@@ -55,11 +61,14 @@ class MetricsSnapshot:
     queue_depths: dict[str, int]
     in_flight: int
     stats: QueryStats
+    deadline_aborts: int = 0
+    degraded: int = 0
 
     def format(self) -> str:
         lines = [
             f"served {self.served}  shed {self.shed}  expired {self.expired}  "
-            f"failed {self.failed}  in-flight {self.in_flight}",
+            f"(aborted {self.deadline_aborts})  failed {self.failed}  "
+            f"degraded {self.degraded}  in-flight {self.in_flight}",
             f"latency p50 {self.p50 * 1e3:.2f} ms  p95 {self.p95 * 1e3:.2f} ms  "
             f"p99 {self.p99 * 1e3:.2f} ms",
             f"engine work: {self.stats.refinements} refinements, "
@@ -86,6 +95,8 @@ class ServerMetrics:
     shed: int = 0
     expired: int = 0
     failed: int = 0
+    deadline_aborts: int = 0
+    degraded: int = 0
     window: int = DEFAULT_WINDOW
     max_clients: int = DEFAULT_MAX_CLIENTS
     latencies: deque = field(default_factory=deque)
@@ -120,8 +131,16 @@ class ServerMetrics:
     def record_shed(self) -> None:
         self.shed += 1
 
-    def record_expired(self) -> None:
+    def record_expired(self, aborted: bool = False) -> None:
+        """``aborted=True``: the deadline stopped an *executing* query
+        (engine time cap), not one still queued."""
         self.expired += 1
+        if aborted:
+            self.deadline_aborts += 1
+
+    def record_degraded(self) -> None:
+        """A completed response was answered around a down shard."""
+        self.degraded += 1
 
     def record_failed(self) -> None:
         self.failed += 1
@@ -144,4 +163,6 @@ class ServerMetrics:
             queue_depths=dict(queue_depths or {}),
             in_flight=in_flight,
             stats=self.stats,
+            deadline_aborts=self.deadline_aborts,
+            degraded=self.degraded,
         )

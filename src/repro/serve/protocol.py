@@ -15,6 +15,36 @@ deadline passed before the request reached the engine) or
 Every type round-trips through plain dicts (:func:`request_from_dict`
 / :func:`response_to_dict`), which is what the ``repro serve``
 JSON-lines loop ships over stdin/stdout.
+
+Client-side retry contract
+--------------------------
+A :class:`Rejected` response is an explicit backpressure signal, not
+an error: the server *names the earliest useful resubmission time* in
+``retry_after`` (seconds).  Well-behaved clients
+
+1. wait at least ``retry_after`` before resubmitting (resubmitting
+   sooner is guaranteed to be shed again and only adds load);
+2. on repeated rejections, back off exponentially from that base --
+   ``retry_after * 2**(attempt-1)`` capped at a few seconds -- so a
+   fleet of rejected clients de-synchronizes instead of stampeding;
+3. give up after a bounded number of attempts and surface the
+   rejection.
+
+:class:`Expired` responses are terminal for that request: the
+deadline was the client's own budget, so resubmission only makes
+sense with a fresh (larger) deadline.  ``aborted=True`` means the
+budget ran out *mid-execution* (the engine stopped the search; no
+partial result is returned); ``aborted=False`` means it ran out while
+the request was still queued.  :class:`Failed` responses are not
+retried -- the query itself raised and will raise again.
+``examples/serve_demo.py`` implements this contract.
+
+A :class:`Completed` response with ``degraded=True`` is a *partial*
+answer: one or more shards were down and skipped under the
+``degrade`` fault policy, so neighbors owned solely by those shards
+may be missing.  Clients that need completeness should retry after
+the shard tier heals (the stats probe exposes respawn progress);
+clients that prefer availability use the answer as-is.
 """
 
 from __future__ import annotations
@@ -115,11 +145,16 @@ class Completed(Response):
     ``path``: ``{"path": [...], "distance": float}``;
     ``distance``: ``{"distance": float}``;
     ``stats``: ``{"metrics": <registry snapshot>}``.
+
+    ``degraded=True`` flags a partial kNN answer: a shard was down
+    (``degrade`` fault policy) and its objects are missing from the
+    result.  See the module docstring's retry contract.
     """
 
     result: dict = field(default_factory=dict)
     latency: float = 0.0
     sched_delay: int = 0
+    degraded: bool = False
 
     status = "ok"
 
@@ -136,9 +171,18 @@ class Rejected(Response):
 
 @dataclass(frozen=True)
 class Expired(Response):
-    """The deadline passed while the request was still queued."""
+    """The deadline ran out -- while queued, or mid-execution.
+
+    ``aborted=False`` (the historical case): the budget expired while
+    the request was still queued and it was never dispatched.
+    ``aborted=True``: the budget expired *during execution* -- the
+    engine's time cap stopped the search and no (late) result was
+    produced.  Either way the client gets this answer promptly
+    instead of a result it can no longer use.
+    """
 
     waited: float = 0.0
+    aborted: bool = False
 
     status = "expired"
 
@@ -199,11 +243,17 @@ def response_to_dict(response: Response) -> dict:
         # measured in; scripted clients need it as much as in-process
         # ones.
         out["sched_delay"] = response.sched_delay
+        # Fault-path flags ride the wire only when set, so the happy
+        # path's records are byte-identical to the pre-fault protocol.
+        if response.degraded:
+            out["degraded"] = True
     elif isinstance(response, Rejected):
         out["retry_after"] = round(response.retry_after, 6)
         out["reason"] = response.reason
     elif isinstance(response, Expired):
         out["waited"] = round(response.waited, 6)
+        if response.aborted:
+            out["aborted"] = True
     elif isinstance(response, Failed):
         out["error"] = response.error
     return out

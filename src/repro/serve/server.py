@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from functools import reduce
 from typing import Callable, TextIO
 
+from repro.errors import DeadlineExceeded
 from repro.obs.trace import NullTracer
 from repro.query.stats import QueryStats
 from repro.serve.admission import AdmissionController
@@ -212,6 +213,9 @@ class SILCServer:
         shard_group = getattr(self.engine, "shard_group", None)
         if shard_group is not None:
             registry.absorb_router(shard_group.router.stats)
+            supervisor = getattr(shard_group, "supervisor", None)
+            if supervisor is not None:
+                registry.absorb_supervisor(supervisor.stats)
         slow_log = getattr(self.tracer, "slow_log", None)
         if slow_log is not None:
             registry.set_gauge("slow_queries_captured", slow_log.captured, stage="serve")
@@ -258,6 +262,13 @@ class SILCServer:
             )
             self.metrics.record_expired()
             return
+        # What is left of the deadline after queueing becomes the
+        # execution-time cap: it rides through AsyncEngine into the
+        # engine/router/worker search loops, so a request that expires
+        # mid-execution is aborted instead of finishing late.
+        budget = None
+        if request.deadline is not None:
+            budget = request.deadline - waited
         try:
             with pending.trace.span("execute", kind=request.kind):
                 if request.kind == "path":
@@ -273,6 +284,7 @@ class SILCServer:
                         chunk.queries[0], request.k,
                         variant=request.variant, exact=request.exact,
                         oracle=request.oracle, trace=pending.trace,
+                        time_cap=budget,
                     )
                     pending.stats.append(r.stats)
                     result = {"ids": r.ids(), "distances": r.distances()}
@@ -281,6 +293,7 @@ class SILCServer:
                         chunk.queries, request.k,
                         variant=request.variant, exact=request.exact,
                         oracle=request.oracle, trace=pending.trace,
+                        time_cap=budget,
                     )
                     pending.ids.extend(batch.ids())
                     pending.distances.extend(r.distances() for r in batch.results)
@@ -288,6 +301,17 @@ class SILCServer:
                     if not chunk.last:
                         return  # more chunks of this batch still queued
                     result = {"ids": pending.ids, "distances": pending.distances}
+        except DeadlineExceeded:
+            waited = self.clock() - pending.submitted
+            self.metrics.record_expired(aborted=True)
+            self._finish(
+                pending,
+                Expired(
+                    id=request.id, client=request.client,
+                    waited=waited, aborted=True,
+                ),
+            )
+            return
         except Exception as exc:  # noqa: BLE001 - queries surface as Failed
             self.metrics.record_failed()
             self._finish(
@@ -297,13 +321,21 @@ class SILCServer:
             return
         latency = self.clock() - pending.submitted
         sched_delay = self.scheduler.sched_delay(request)
+        # QueryStats.merge drops extras, so the degraded marker must be
+        # read off the per-chunk stats before the reduce.
+        degraded = any(
+            s.extras.get("degraded_shards") for s in pending.stats
+        )
         stats = reduce(QueryStats.merge, pending.stats, QueryStats())
         self.metrics.record_completed(request.client, latency, sched_delay, stats)
+        if degraded:
+            self.metrics.record_degraded()
         self._finish(
             pending,
             Completed(
                 id=request.id, client=request.client,
                 result=result, latency=latency, sched_delay=sched_delay,
+                degraded=degraded,
             ),
         )
 

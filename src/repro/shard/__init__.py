@@ -23,17 +23,35 @@ breaks past that with worker *processes* over spatial shards:
 :class:`~repro.shard.worker.ShardGroup` bundles all of the above
 behind the two calls the serving layer needs (``knn``/``knn_batch``);
 ``AsyncEngine(shards=N)`` and ``repro serve --shards N`` wire it in.
+
+Worker processes crash; :mod:`repro.shard.supervisor` owns surviving
+them.  A :class:`~repro.shard.supervisor.ShardSupervisor` sits between
+the router and the workers, detects deaths (a broken pipe, a failed
+liveness check), respawns with exponential backoff, and applies a
+configurable :class:`~repro.shard.supervisor.SupervisionPolicy` --
+replay on the fresh worker, fail over to the unsharded engine, or
+degrade to the surviving shards.
 """
 
 from repro.shard.partitioner import ShardMap, split_objects
 from repro.shard.router import PartitionRouter, RouterStats
+from repro.shard.supervisor import (
+    FAILURE_POLICIES,
+    ShardSupervisor,
+    SupervisionPolicy,
+    SupervisorStats,
+)
 from repro.shard.worker import ShardGroup, ShardWorker
 
 __all__ = [
+    "FAILURE_POLICIES",
     "PartitionRouter",
     "RouterStats",
     "ShardGroup",
     "ShardMap",
+    "ShardSupervisor",
     "ShardWorker",
+    "SupervisionPolicy",
+    "SupervisorStats",
     "split_objects",
 ]

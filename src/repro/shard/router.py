@@ -30,6 +30,30 @@ shard lower-bounds the distance through that part; so if *all* of an
 object's shards are pruned, its true distance is ``>= Dk`` and the
 global top k is unaffected.  Visited workers return their shard-local
 top k with exact distances, so the merged top k is exact.
+
+**Fault handling.**  Worker visits go through the
+:class:`~repro.shard.supervisor.ShardSupervisor`; when a shard stays
+down past its policy's retries the router degrades per that policy
+rather than failing the query:
+
+* ``respawn`` / ``failover`` -- the *whole query* is re-answered on
+  the unsharded fallback engine (the same exact search over the full
+  object set), so the caller still gets the complete, correct top k.
+  The result's ``stats.extras["failover"]`` marks it.
+* ``degrade`` -- the dead shard is skipped and the surviving shards'
+  merged answer is returned with
+  ``stats.extras["degraded_shards"]`` listing the missing shards (the
+  serving layer turns that into the response's ``degraded`` flag).
+  The answer is exact *over the objects the live shards hold* -- it
+  may be missing neighbors owned solely by the dead shard, which is
+  precisely what the flag tells the client.
+* ``error`` -- :class:`~repro.errors.ShardUnavailable` propagates.
+
+**Deadlines.**  ``time_cap`` is the query's remaining execution
+budget in seconds.  The router re-computes the remaining budget
+before each shard visit and forwards it down the pipe, so the worker's
+own search loop stops at the deadline; an exhausted budget raises
+:class:`~repro.errors.DeadlineExceeded` (never a late result).
 """
 
 from __future__ import annotations
@@ -42,6 +66,7 @@ from time import perf_counter
 from typing import Iterable
 
 from repro.engine import BatchResult
+from repro.errors import DeadlineExceeded, ShardUnavailable
 from repro.obs.trace import NULL_TRACE
 from repro.query.location import (
     location_point,
@@ -97,15 +122,20 @@ class PartitionRouter:
     shard_map:
         The :class:`~repro.shard.partitioner.ShardMap` the workers
         were built from.
-    workers:
-        ``{shard_id: worker}`` for every shard holding objects; each
-        worker needs a thread-safe
-        ``knn(position, k, variant) -> ([(oid, distance), ...], QueryStats)``.
+    supervisor:
+        The :class:`~repro.shard.supervisor.ShardSupervisor` owning
+        the worker handles; every visit goes through its supervised
+        ``knn`` so crashes are detected, respawned and replayed per
+        policy.
     has_edge:
         Per-shard flag: True when the shard holds any edge-positioned
         part, which restricts it to the Euclidean bound.
     object_counts:
         Per-shard object counts (reporting only).
+    fallback:
+        The unsharded :class:`~repro.engine.QueryEngine` used to
+        answer whole queries when a shard is unavailable under the
+        ``respawn``/``failover`` policies (None disables failover).
 
     Thread safety: the router holds no per-query mutable state; the
     stats counters are updated under a lock, and each worker handle
@@ -118,21 +148,26 @@ class PartitionRouter:
         self,
         index,
         shard_map,
-        workers: dict,
+        supervisor,
         has_edge: list[bool],
         object_counts: list[int],
+        fallback=None,
     ) -> None:
         self.index = index
         self.network = index.network
         self.embedding = index.embedding
         self.shard_map = shard_map
-        self.workers = dict(workers)
+        self.supervisor = supervisor
+        self.fallback = fallback
         self.has_edge = list(has_edge)
         self.object_counts = list(object_counts)
         #: Global lower-bound slope: network distance >= slope * Euclidean.
         self._slope = min(self.network.min_euclidean_ratio(), float("inf"))
+        #: The populated shard ids -- fixed at construction; respawns
+        #: swap worker *handles*, never the shard set.
+        self.shards = sorted(supervisor.workers)
         self._cover_blocks = {
-            shard: shard_map.cover_blocks(shard) for shard in self.workers
+            shard: shard_map.cover_blocks(shard) for shard in self.shards
         }
         self._cover_rects = {
             shard: [
@@ -143,6 +178,11 @@ class PartitionRouter:
         }
         self.stats = RouterStats()
         self._stats_lock = threading.Lock()
+
+    @property
+    def workers(self) -> dict:
+        """The live worker handles (delegates to the supervisor)."""
+        return self.supervisor.workers
 
     # ------------------------------------------------------------------
     # Bounds
@@ -194,7 +234,14 @@ class PartitionRouter:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def knn(self, query, k: int, variant: str = "knn", trace=None) -> KNNResult:
+    def knn(
+        self,
+        query,
+        k: int,
+        variant: str = "knn",
+        trace=None,
+        time_cap: float | None = None,
+    ) -> KNNResult:
         """One exact kNN query over the sharded object set.
 
         ``query`` accepts the same forms as
@@ -211,25 +258,45 @@ class PartitionRouter:
         grafted underneath -- the cross-process half of a request
         trace.  Tracing only observes: the visit order, bounds and
         answers are identical with it on or off.
+
+        ``time_cap`` bounds total execution: the remaining budget is
+        forwarded to each visited worker and
+        :class:`DeadlineExceeded` is raised the moment it runs out.
+        A dead shard is handled per the supervisor's policy (see the
+        module docstring); only the ``error`` policy lets
+        :class:`ShardUnavailable` escape.
         """
         if trace is None:
             trace = NULL_TRACE
+        t_start = perf_counter()
         position = resolve_location(self.network, query)
         point = location_point(self.network, position)
         anchors = source_anchors(self.network, position)
 
         with trace.span("plan", oracle="silc") as plan_span:
             order = sorted(
-                (self.euclid_bound(shard, point), shard) for shard in self.workers
+                (self.euclid_bound(shard, point), shard) for shard in self.shards
             )
         candidates: dict[int, float] = {}
         worker_stats: list[QueryStats] = []
+        degraded_shards: list[int] = []
         visited = pruned_e = pruned_l = probes = duplicates = 0
 
         def dk() -> float:
             if len(candidates) < k:
                 return math.inf
             return sorted(candidates.values())[k - 1]
+
+        def remaining() -> float | None:
+            if time_cap is None:
+                return None
+            left = time_cap - (perf_counter() - t_start)
+            if left <= 0:
+                raise DeadlineExceeded(
+                    f"query exceeded its {time_cap:.3f}s execution budget "
+                    f"after visiting {visited} shard(s)"
+                )
+            return left
 
         for i, (euclid, shard) in enumerate(order):
             bound = dk()
@@ -244,20 +311,34 @@ class PartitionRouter:
                 if prunable:
                     pruned_l += 1
                     continue
+            budget = remaining()
             # The current global Dk caps the worker's search: a shard
             # that cannot improve the answer returns almost instantly
             # instead of grinding through a full local search.
-            with trace.span(f"shard:{shard}", shard=shard) as shard_span:
-                if trace.enabled:
-                    pairs, stats, wspans = self.workers[shard].knn(
-                        position, k, variant, bound, trace=True
+            try:
+                with trace.span(f"shard:{shard}", shard=shard) as shard_span:
+                    pairs, stats, wspans = self.supervisor.knn(
+                        shard, position, k, variant, bound,
+                        trace=trace, time_cap=budget,
                     )
-                    trace.adopt(wspans, parent=shard_span)
-                else:
-                    pairs, stats = self.workers[shard].knn(
-                        position, k, variant, bound
-                    )
-                shard_span.add_stats(stats)
+                    if wspans is not None:
+                        trace.adopt(wspans, parent=shard_span)
+                    shard_span.add_stats(stats)
+            except ShardUnavailable:
+                policy = self.supervisor.policy.on_failure
+                if policy == "error":
+                    raise
+                if policy == "degrade":
+                    degraded_shards.append(shard)
+                    continue
+                # respawn (retries exhausted) / failover: answer the
+                # whole query on the unsharded engine -- same exact
+                # search, full object set, so the answer is complete.
+                if self.fallback is None:
+                    raise
+                return self._failover(
+                    query, k, variant, trace, remaining(), len(order)
+                )
             visited += 1
             worker_stats.append(stats)
             for oid, distance in pairs:
@@ -285,6 +366,9 @@ class PartitionRouter:
         merged.extras["shards_considered"] = len(order)
         merged.extras["shards_visited"] = visited
         merged.extras["shards_pruned"] = pruned_e + pruned_l
+        if degraded_shards:
+            merged.extras["degraded_shards"] = degraded_shards
+            self.supervisor.record(degraded_responses=1)
         with self._stats_lock:
             s = self.stats
             s.queries += 1
@@ -297,14 +381,57 @@ class PartitionRouter:
             s.duplicates_merged += duplicates
         return KNNResult(neighbors=neighbors, stats=merged, ordered=True)
 
+    def _failover(
+        self, query, k: int, variant: str, trace, budget, considered: int
+    ) -> KNNResult:
+        """Answer the whole query on the unsharded fallback engine.
+
+        Used when a shard stays down under the ``respawn``/``failover``
+        policies: the fallback runs the identical exact search over
+        the *full* object set, so the answer matches what the healthy
+        shard tier would have returned -- only latency moves.
+        """
+        self.supervisor.record(failovers=1)
+        with trace.span("failover", oracle="silc"):
+            result = self.fallback.knn(
+                query, k, variant=variant, exact=True,
+                trace=trace, time_cap=budget,
+            )
+        result.stats.extras["failover"] = True
+        with self._stats_lock:
+            s = self.stats
+            s.queries += 1
+            s.shards_considered += considered
+            s.candidates += len(result.neighbors)
+        return result
+
     def knn_batch(
-        self, queries: Iterable, k: int, variant: str = "knn", trace=None
+        self,
+        queries: Iterable,
+        k: int,
+        variant: str = "knn",
+        trace=None,
+        time_cap: float | None = None,
     ) -> BatchResult:
-        """Answer a batch through :meth:`knn`, merging per-query stats."""
+        """Answer a batch through :meth:`knn`, merging per-query stats.
+
+        ``time_cap`` bounds the *whole batch*: each query receives the
+        budget that remains when it starts.
+        """
         t_start = perf_counter()
-        results = [
-            self.knn(query, k, variant=variant, trace=trace) for query in queries
-        ]
+        results = []
+        for query in queries:
+            budget = None
+            if time_cap is not None:
+                budget = time_cap - (perf_counter() - t_start)
+                if budget <= 0:
+                    raise DeadlineExceeded(
+                        f"batch exceeded its {time_cap:.3f}s budget after "
+                        f"{len(results)} of its queries"
+                    )
+            results.append(
+                self.knn(query, k, variant=variant, trace=trace, time_cap=budget)
+            )
         stats = reduce(QueryStats.merge, (r.stats for r in results), QueryStats())
         return BatchResult(
             results=results, stats=stats, elapsed=perf_counter() - t_start

@@ -19,6 +19,8 @@ request/response)::
     ("knn", position, k, variant, cap)  -> ("ok", [(oid, distance), ...], QueryStats)
     ("knn", position, k, variant, cap, True)
         -> ("ok", [(oid, distance), ...], QueryStats, [span dict, ...])
+    ("knn", position, k, variant, cap, trace?, time_budget)
+        -> as above, or ("expired", message) when the budget runs out
     ("stop",)                           -> worker exits (no response)
     any failure                         -> ("error", "ExcType: message")
 
@@ -31,11 +33,27 @@ query: it runs a local :class:`~repro.obs.trace.Tracer` and ships the
 resulting spans back (absolute ``perf_counter`` times -- the same
 system-wide monotonic clock the parent reads) so the router can graft
 them into the request's trace with :meth:`~repro.obs.trace.Trace.adopt`.
-Untraced requests keep the exact legacy 5-tuple/3-tuple exchange.
+The optional seventh element is the query's *remaining deadline
+budget* in seconds; the worker passes it into the engine as a time
+cap and answers ``("expired", message)`` if the search overruns it
+(the parent raises :class:`~repro.errors.DeadlineExceeded`).
+Untraced, un-budgeted requests keep the exact legacy exchange.
+
+**Crash safety** (this is the serving tier's availability story): the
+parent-side :class:`ShardWorker` never blocks forever on a dead
+process.  Receives go through ``poll()`` with a short interval and a
+process-liveness check, so a crashed worker surfaces as
+:class:`~repro.errors.WorkerDied` within ~one poll interval instead
+of hanging the router; ``stop()`` escalates join -> terminate -> kill
+so a wedged worker can never zombie the shutdown path.  Recovery --
+respawn/backoff/replay -- lives one level up in
+:class:`~repro.shard.supervisor.ShardSupervisor`, which rebuilds
+workers from their :class:`WorkerSpec` via :func:`spawn_worker`.
 
 :class:`ShardGroup` bundles partitioning, the sharded save, worker
-spawning and the :class:`~repro.shard.router.PartitionRouter` behind
-the ``knn``/``knn_batch`` surface the serving layer calls.
+spawning, supervision and the
+:class:`~repro.shard.router.PartitionRouter` behind the
+``knn``/``knn_batch`` surface the serving layer calls.
 """
 
 from __future__ import annotations
@@ -44,13 +62,17 @@ import multiprocessing as mp
 import shutil
 import tempfile
 import threading
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.errors import DeadlineExceeded, WorkerDied
 from repro.objects.index import ObjectIndex
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.shard.partitioner import ShardMap, split_objects
 from repro.shard.router import PartitionRouter
+from repro.shard.supervisor import ShardSupervisor, SupervisionPolicy
 
 #: Fork keeps the already-parsed network and object payloads shared
 #: with the parent; spawn re-pickles them (both work -- the payloads
@@ -109,6 +131,7 @@ def _shard_worker_main(
             elif kind == "knn":
                 _, position, k, variant, cap = msg[:5]
                 want_trace = len(msg) > 5 and msg[5]
+                time_budget = msg[6] if len(msg) > 6 else None
                 if want_trace:
                     from repro.obs.trace import Tracer
 
@@ -121,6 +144,7 @@ def _shard_worker_main(
                     result = engine.knn(
                         position, k, variant=variant, exact=True,
                         max_distance=cap, trace=trace,
+                        time_cap=time_budget,
                     )
                     trace.finish("ok")
                     conn.send(
@@ -134,7 +158,7 @@ def _shard_worker_main(
                 else:
                     result = engine.knn(
                         position, k, variant=variant, exact=True,
-                        max_distance=cap,
+                        max_distance=cap, time_cap=time_budget,
                     )
                     conn.send(
                         (
@@ -145,9 +169,50 @@ def _shard_worker_main(
                     )
             else:
                 conn.send(("error", f"unknown request kind: {kind!r}"))
+        except DeadlineExceeded as exc:
+            conn.send(("expired", f"shard {shard_id}: {exc}"))
         except Exception as exc:  # noqa: BLE001 - surfaced to the parent
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
     conn.close()
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything needed to (re)spawn one shard's worker process.
+
+    The supervisor keeps these around so a crashed worker can be
+    rebuilt identically: same saved directory, same network, same
+    object slice, same storage simulation.  That identity is what
+    makes replay-after-respawn answer-preserving.
+    """
+
+    directory: str
+    network: object = field(repr=False)
+    shard_id: int = 0
+    objects: tuple = field(default=(), repr=False)
+    storage_options: dict | None = None
+
+
+def spawn_worker(spec: WorkerSpec) -> "ShardWorker":
+    """Start one worker process from its spec; does not ping it."""
+    ctx = mp.get_context(_START_METHOD)
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(
+        target=_shard_worker_main,
+        args=(
+            child_conn,
+            spec.directory,
+            spec.network,
+            spec.shard_id,
+            list(spec.objects),
+            spec.storage_options,
+        ),
+        daemon=True,
+        name=f"repro-shard-{spec.shard_id}",
+    )
+    process.start()
+    child_conn.close()
+    return ShardWorker(spec.shard_id, process, parent_conn)
 
 
 class ShardWorker:
@@ -157,7 +222,17 @@ class ShardWorker:
     threads can share the handle; different workers have independent
     locks (and pipes), which is exactly where the parallelism comes
     from.
+
+    The receive side never blocks indefinitely: it polls the pipe at
+    :attr:`poll_interval` and re-checks process liveness between
+    polls, so a worker that dies mid-request raises
+    :class:`~repro.errors.WorkerDied` promptly instead of hanging the
+    caller forever (which is what a bare ``conn.recv()`` on a dead
+    pipe's parent end does when the child end leaked into siblings).
     """
+
+    #: Seconds between liveness checks while awaiting a response.
+    poll_interval = 0.05
 
     def __init__(self, shard_id: int, process, conn) -> None:
         self.shard_id = shard_id
@@ -165,16 +240,67 @@ class ShardWorker:
         self.conn = conn
         self._lock = threading.Lock()
 
-    def request(self, message: tuple):
-        """One request/response round trip (thread-safe)."""
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is currently running."""
+        return self.process.is_alive()
+
+    def request(self, message: tuple, timeout: float | None = None):
+        """One request/response round trip (thread-safe, hang-proof).
+
+        Raises :class:`WorkerDied` when the process is dead, dies
+        mid-request, or fails to answer within ``timeout`` seconds
+        (unbounded by default -- liveness, not latency, is what the
+        poll loop enforces).  A worker-reported ``("expired", ...)``
+        raises :class:`DeadlineExceeded`; ``("error", ...)`` keeps its
+        historical ``RuntimeError``.
+        """
         with self._lock:
-            self.conn.send(message)
+            if not self.process.is_alive():
+                raise WorkerDied(
+                    f"shard worker {self.shard_id} is dead "
+                    f"(exitcode {self.process.exitcode})",
+                    shard=self.shard_id,
+                )
             try:
-                response = self.conn.recv()
-            except EOFError:
-                raise RuntimeError(
-                    f"shard worker {self.shard_id} died mid-request"
-                ) from None
+                self.conn.send(message)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise WorkerDied(
+                    f"shard worker {self.shard_id} pipe broke on send: {exc}",
+                    shard=self.shard_id,
+                ) from exc
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                try:
+                    if self.conn.poll(self.poll_interval):
+                        response = self.conn.recv()
+                        break
+                except (EOFError, OSError) as exc:
+                    raise WorkerDied(
+                        f"shard worker {self.shard_id} died mid-request",
+                        shard=self.shard_id,
+                    ) from exc
+                if not self.process.is_alive():
+                    # Drain any response that raced the process exit.
+                    try:
+                        if self.conn.poll(0):
+                            response = self.conn.recv()
+                            break
+                    except (EOFError, OSError):
+                        pass
+                    raise WorkerDied(
+                        f"shard worker {self.shard_id} died mid-request "
+                        f"(exitcode {self.process.exitcode})",
+                        shard=self.shard_id,
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise WorkerDied(
+                        f"shard worker {self.shard_id} unresponsive for "
+                        f"{timeout:.3f}s",
+                        shard=self.shard_id,
+                    )
+        if response[0] == "expired":
+            raise DeadlineExceeded(response[1])
         if response[0] == "error":
             raise RuntimeError(response[1])
         return response
@@ -190,60 +316,103 @@ class ShardWorker:
         variant: str,
         cap: float = float("inf"),
         trace: bool = False,
+        time_cap: float | None = None,
     ):
         """The shard's k nearest of its own objects, with exact distances.
 
         ``cap`` lets the worker omit objects farther than the caller's
-        current global bound.  Returns
+        current global bound.  ``time_cap`` is the query's remaining
+        deadline budget in seconds; the worker aborts the search and
+        this raises :class:`DeadlineExceeded` if it runs out.  Returns
         ``([(oid, distance), ...], QueryStats)``; with ``trace=True``
         the worker traces the query and a third element carries its
         span dicts (absolute times, ready for
         :meth:`~repro.obs.trace.Trace.adopt`).
         """
+        if time_cap is not None:
+            message = ("knn", position, k, variant, cap, trace, time_cap)
+        elif trace:
+            message = ("knn", position, k, variant, cap, True)
+        else:
+            message = ("knn", position, k, variant, cap)
+        response = self.request(message)
         if trace:
-            response = self.request(("knn", position, k, variant, cap, True))
             return response[1], response[2], response[3]
-        response = self.request(("knn", position, k, variant, cap))
         return response[1], response[2]
 
+    def kill(self) -> None:
+        """Hard-kill the worker process (fault injection / cleanup).
+
+        SIGKILL, then reap: after this returns the process is gone and
+        a replacement can safely map the same files.
+        """
+        try:
+            self.process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+        self.process.join(5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
     def stop(self, timeout: float = 5.0) -> None:
-        """Ask the process to exit; escalate to terminate if it won't."""
+        """Ask the process to exit; escalate join -> terminate -> kill.
+
+        A wedged or already-dead worker can never hang shutdown: if the
+        polite stop does not land within ``timeout`` the process is
+        terminated (SIGTERM), and if *that* does not land, killed
+        (SIGKILL) -- each stage followed by a bounded join.
+        """
         try:
             with self._lock:
                 self.conn.send(("stop",))
         except (OSError, ValueError):
             pass
-        self.conn.close()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
         self.process.join(timeout)
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
 
 
 class ShardGroup:
-    """The sharded serving tier: partition, save, spawn, route.
+    """The sharded serving tier: partition, save, spawn, route, supervise.
 
     Build one with :meth:`from_engine`; then :meth:`knn` and
     :meth:`knn_batch` answer queries through the partition router and
     the worker processes, with results identical to the unsharded
-    engine's exact path.  Always close (or use as a context manager):
-    the workers are real processes.
+    engine's exact path.  Worker crashes are handled by the embedded
+    :class:`~repro.shard.supervisor.ShardSupervisor` per the
+    ``on_failure`` policy.  Always close (or use as a context
+    manager): the workers are real processes.
     """
 
     def __init__(
         self,
         shard_map: ShardMap,
-        workers: dict[int, ShardWorker],
+        supervisor: ShardSupervisor,
         router: PartitionRouter,
         directory: Path,
         owns_directory: bool,
     ) -> None:
         self.shard_map = shard_map
-        self.workers = workers
+        self.supervisor = supervisor
         self.router = router
         self.directory = directory
         self._owns_directory = owns_directory
         self._closed = False
+
+    @property
+    def workers(self) -> dict[int, ShardWorker]:
+        """The live worker handles (respawns swap entries in place)."""
+        return self.supervisor.workers
 
     @classmethod
     def from_engine(
@@ -252,6 +421,9 @@ class ShardGroup:
         num_shards: int,
         directory: str | Path | None = None,
         worker_storage: dict | None = None,
+        on_failure: str = "respawn",
+        max_retries: int = 2,
+        fault_injector=None,
     ) -> "ShardGroup":
         """Shard a :class:`~repro.engine.QueryEngine`'s index and objects.
 
@@ -267,6 +439,14 @@ class ShardGroup:
         ``worker_storage`` (e.g. ``{"cache_fraction": 0.05,
         "sleep_per_miss": 8e-4}``) gives every worker its own storage
         simulator -- the benchmark's disk-resident regime.
+
+        ``on_failure`` picks the supervision policy (``respawn`` /
+        ``failover`` / ``degrade`` / ``error`` -- see
+        :class:`~repro.shard.supervisor.SupervisionPolicy`),
+        ``max_retries`` bounds respawn+replay attempts per request,
+        and ``fault_injector`` plugs a deterministic
+        :class:`~repro.faults.FaultInjector` into the request path for
+        chaos tests.
         """
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -283,29 +463,21 @@ class ShardGroup:
         per_shard, has_edge = split_objects(
             network, objects, index.embedding, shard_map
         )
-        ctx = mp.get_context(_START_METHOD)
+        specs = {
+            shard: WorkerSpec(
+                directory=str(directory),
+                network=network,
+                shard_id=shard,
+                objects=tuple(per_shard[shard]),
+                storage_options=worker_storage,
+            )
+            for shard in range(num_shards)
+            if per_shard[shard]
+        }
         workers: dict[int, ShardWorker] = {}
         try:
-            for shard in range(num_shards):
-                if not per_shard[shard]:
-                    continue
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(
-                        child_conn,
-                        str(directory),
-                        network,
-                        shard,
-                        per_shard[shard],
-                        worker_storage,
-                    ),
-                    daemon=True,
-                    name=f"repro-shard-{shard}",
-                )
-                process.start()
-                child_conn.close()
-                workers[shard] = ShardWorker(shard, process, parent_conn)
+            for shard, spec in specs.items():
+                workers[shard] = spawn_worker(spec)
             for worker in workers.values():
                 worker.ping()
         except BaseException:
@@ -314,14 +486,23 @@ class ShardGroup:
             if owns_directory:
                 shutil.rmtree(directory, ignore_errors=True)
             raise
+        supervisor = ShardSupervisor(
+            spawner=lambda shard: spawn_worker(specs[shard]),
+            workers=workers,
+            policy=SupervisionPolicy(
+                on_failure=on_failure, max_retries=max_retries
+            ),
+            fault_injector=fault_injector,
+        )
         router = PartitionRouter(
             index,
             shard_map,
-            workers,
+            supervisor,
             has_edge=has_edge,
             object_counts=[len(objs) for objs in per_shard],
+            fallback=engine,
         )
-        return cls(shard_map, workers, router, directory, owns_directory)
+        return cls(shard_map, supervisor, router, directory, owns_directory)
 
     # ------------------------------------------------------------------
     # Query surface (mirrors QueryEngine's)
@@ -335,18 +516,28 @@ class ShardGroup:
         """The router's accumulated :class:`RouterStats`."""
         return self.router.stats
 
-    def knn(self, query, k: int, variant: str = "knn", trace=None):
+    def knn(self, query, k: int, variant: str = "knn", trace=None,
+            time_cap: float | None = None):
         """One kNN query, scatter-gathered across the shard workers."""
-        return self.router.knn(query, k, variant=variant, trace=trace)
+        return self.router.knn(
+            query, k, variant=variant, trace=trace, time_cap=time_cap
+        )
 
-    def knn_batch(self, queries: Iterable, k: int, variant: str = "knn", trace=None):
+    def knn_batch(self, queries: Iterable, k: int, variant: str = "knn",
+                  trace=None, time_cap: float | None = None):
         """A batch of kNN queries (sequential; parallelism comes from
         concurrent callers, e.g. the serving layer's dispatch threads)."""
-        return self.router.knn_batch(queries, k, variant=variant, trace=trace)
+        return self.router.knn_batch(
+            queries, k, variant=variant, trace=trace, time_cap=time_cap
+        )
 
     def ping(self) -> list[int]:
         """Round trip every worker; returns the live shard ids."""
         return [worker.ping() for worker in self.workers.values()]
+
+    def health_check(self) -> dict[int, bool]:
+        """Per-shard liveness, via the supervisor (never raises)."""
+        return self.supervisor.health_check()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -356,8 +547,7 @@ class ShardGroup:
         if self._closed:
             return
         self._closed = True
-        for worker in self.workers.values():
-            worker.stop()
+        self.supervisor.close()
         if self._owns_directory:
             shutil.rmtree(self.directory, ignore_errors=True)
 

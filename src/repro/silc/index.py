@@ -22,14 +22,23 @@ through the simulated LRU buffer -- the paper's I/O cost model.
 from __future__ import annotations
 
 import math
+import zipfile
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.errors import CorruptIndexError
 from repro.geometry.grid import GridEmbedding
 from repro.geometry.morton import block_cells
 from repro.geometry.rect import Rect
+from repro.integrity import (
+    atomic_directory,
+    atomic_save_npz,
+    checked_load,
+    verify_manifest,
+    write_manifest,
+)
 from repro.network.allpairs import materialize_sources
 from repro.network.errors import PathNotFound
 from repro.network.graph import SpatialNetwork
@@ -367,15 +376,21 @@ class SILCIndex:
         *directory* and the same arrays land as one ``.npy`` file each.
         Only the directory layout supports ``load(..., mmap=True)``
         (``.npz`` members cannot be memory-mapped).
+
+        Both layouts are crash-safe: the write is staged (tmp file /
+        tmp sibling directory) and published with ``os.replace``, and
+        the directory layout additionally records a checksum
+        ``MANIFEST.json`` (written last) that :meth:`load` verifies --
+        an interrupted save can never leave a silently-corrupt index
+        in place.
         """
         payload = self._save_payload()
         if str(path).endswith(".npz"):
-            np.savez_compressed(path, **payload)
+            atomic_save_npz(path, **payload)
             return
-        directory = Path(path)
-        directory.mkdir(parents=True, exist_ok=True)
-        for name, array in payload.items():
-            np.save(directory / f"{name}.npy", array)
+        with atomic_directory(path) as tmp:
+            for name, array in payload.items():
+                np.save(tmp / f"{name}.npy", array)
 
     @classmethod
     def load(cls, path, network: SpatialNetwork, mmap: bool = False) -> "SILCIndex":
@@ -389,13 +404,23 @@ class SILCIndex:
         in-memory load performs (validating would fault in every
         column page, defeating the point); trust it only with files
         this package wrote.
+
+        Integrity is verified *before any query can run*: a
+        directory-layout save's ``MANIFEST.json`` is checked against
+        the files on disk -- sizes always (an O(1) stat per file, so
+        the mmap cold-start contract holds while still catching
+        truncation), checksums too on eager loads -- and any
+        missing/truncated/unparseable column raises
+        :class:`~repro.errors.CorruptIndexError` naming the column.
+        Directories saved before manifests existed load as before.
         """
         directory = Path(path)
         if directory.is_dir():
             mode = "r" if mmap else None
+            verify_manifest(directory, deep=not mmap)
 
             def get(name: str) -> np.ndarray:
-                return np.load(directory / f"{name}.npy", mmap_mode=mode)
+                return checked_load(directory, f"{name}.npy", mmap_mode=mode)
 
             return cls._from_arrays(network, get, validate=not mmap)
         if mmap:
@@ -404,8 +429,22 @@ class SILCIndex:
                 "(save to a path without the .npz suffix); "
                 f"{path!r} is a .npz archive"
             )
-        with np.load(path) as data:
-            return cls._from_arrays(network, data.__getitem__, validate=True)
+        try:
+            data = np.load(path)
+        except FileNotFoundError:
+            raise
+        except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+            raise CorruptIndexError(
+                f"corrupt index archive {path}: {exc}"
+            ) from exc
+        with data:
+            try:
+                return cls._from_arrays(network, data.__getitem__, validate=True)
+            except KeyError as exc:
+                raise CorruptIndexError(
+                    f"corrupt index archive {path}: missing member {exc}",
+                    column=str(exc).strip("'\""),
+                ) from exc
 
     @classmethod
     def _from_arrays(
@@ -438,6 +477,13 @@ class SILCIndex:
         a different ``primary``, so every column page on disk is
         mapped -- and cached by the OS -- once, no matter how many
         workers serve it.
+
+        Crash safety is per layer: every ``shard_NNNN/`` slice is
+        staged and published atomically with its own manifest (see
+        :meth:`FlatStore.save_shard`), and the shared metadata files
+        get the directory's top-level manifest, written last -- so a
+        save interrupted at any point is detectable at load time
+        rather than silently inconsistent.
         """
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
@@ -459,6 +505,10 @@ class SILCIndex:
         np.save(directory / "shard_assign.npy", shard_map.assign)
         for shard in range(shard_map.num_shards):
             self.store.save_shard(directory, shard, shard_map.vertices(shard))
+        # The top-level manifest (metadata files only; each shard
+        # subdirectory carries its own) goes last: its presence means
+        # the whole sharded save completed.
+        write_manifest(directory)
 
     @classmethod
     def load_sharded(
@@ -480,10 +530,20 @@ class SILCIndex:
         the OS page cache.  ``mmap=False`` loads everything eagerly
         and validates the store invariants, like a plain
         :meth:`load`.
+
+        The top-level manifest (shared metadata) and each shard's own
+        manifest are verified before anything is served -- sizes
+        always, checksums on eager loads -- so a truncated or
+        corrupted slice raises
+        :class:`~repro.errors.CorruptIndexError` naming the column
+        instead of failing mid-query.
         """
         directory = Path(path)
-        assign = np.load(directory / "shard_assign.npy")
-        num_shards = int(np.load(directory / "shard_boundaries.npy").size - 1)
+        verify_manifest(directory, deep=not mmap)
+        assign = checked_load(directory, "shard_assign.npy")
+        num_shards = int(
+            checked_load(directory, "shard_boundaries.npy").size - 1
+        )
         if primary is not None and not (0 <= primary < num_shards):
             raise ValueError(
                 f"primary shard {primary} out of range ({num_shards} shards)"
@@ -499,11 +559,11 @@ class SILCIndex:
         store = ShardedFlatStore(shards, assign, local_index)
         if not mmap:
             store.validate()
-        b = np.load(directory / "embedding_bounds.npy")
+        b = checked_load(directory, "embedding_bounds.npy")
         embedding = GridEmbedding(
             Rect(float(b[0]), float(b[1]), float(b[2]), float(b[3])),
-            int(np.load(directory / "embedding_order.npy")[0]),
+            int(checked_load(directory, "embedding_order.npy")[0]),
         )
         return cls(
-            network, embedding, np.load(directory / "vertex_codes.npy"), store
+            network, embedding, checked_load(directory, "vertex_codes.npy"), store
         )

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.integrity import atomic_directory, checked_load, verify_manifest
 from repro.quadtree.blocks import BlockTable, compute_ends
 
 #: Column names in canonical order, shared by save/load and the
@@ -252,22 +253,28 @@ class FlatStore:
         memory-map it.  A shard worker process then faults in only its
         own slice's pages; slices of other shards mapped from the same
         files are shared across processes through the OS page cache.
+
+        The write is crash-safe: files are staged in a temporary
+        sibling, a checksum ``MANIFEST.json`` is written last, and the
+        directory is published with ``os.replace`` -- an interrupted
+        save leaves either the previous shard state or nothing, never
+        a half-written slice.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         sub = Path(directory) / shard_dirname(shard)
-        sub.mkdir(parents=True, exist_ok=True)
         sizes = self.sizes[vertices]
         offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
-        np.save(sub / "vertices.npy", vertices)
-        np.save(sub / "offsets.npy", offsets)
         starts = self.offsets[vertices]
-        for name in COLUMNS:
-            col = getattr(self, name)
-            out = np.empty(int(offsets[-1]), dtype=COLUMN_DTYPES[name])
-            for i in range(vertices.size):
-                lo = int(starts[i])
-                out[offsets[i] : offsets[i + 1]] = col[lo : lo + int(sizes[i])]
-            np.save(sub / f"{name}.npy", out)
+        with atomic_directory(sub) as tmp:
+            np.save(tmp / "vertices.npy", vertices)
+            np.save(tmp / "offsets.npy", offsets)
+            for name in COLUMNS:
+                col = getattr(self, name)
+                out = np.empty(int(offsets[-1]), dtype=COLUMN_DTYPES[name])
+                for i in range(vertices.size):
+                    lo = int(starts[i])
+                    out[offsets[i] : offsets[i + 1]] = col[lo : lo + int(sizes[i])]
+                np.save(tmp / f"{name}.npy", out)
         return sub
 
     @classmethod
@@ -283,13 +290,20 @@ class FlatStore:
         O(vertices-in-shard) bytes and column pages fault in on demand
         -- and are shared with every other process mapping the same
         files.
+
+        Integrity is checked *before* any table is served: the shard's
+        ``MANIFEST.json`` sizes are verified always (O(1) stat per
+        file, catching truncation even on the mmap path), checksums
+        too on eager loads; a mismatch or unparseable column raises
+        :class:`~repro.errors.CorruptIndexError` naming the column.
         """
         sub = Path(directory) / shard_dirname(shard)
         mode = "r" if mmap else None
-        vertices = np.load(sub / "vertices.npy")
-        offsets = np.load(sub / "offsets.npy")
+        verify_manifest(sub, deep=not mmap)
+        vertices = checked_load(sub, "vertices.npy")
+        offsets = checked_load(sub, "offsets.npy")
         columns = {
-            name: np.load(sub / f"{name}.npy", mmap_mode=mode)
+            name: checked_load(sub, f"{name}.npy", mmap_mode=mode)
             for name in COLUMNS
         }
         return vertices, cls(offsets, **columns)

@@ -1,0 +1,177 @@
+"""End-to-end deadline enforcement: budgets cap execution, not just
+queueing.
+
+A request's ``deadline`` used to be checked only at dispatch; a query
+that expired *mid-execution* still ran to completion and was delivered
+late.  Now the remaining budget rides from the server through
+:class:`~repro.serve.engine.AsyncEngine` into the search loops, which
+raise :class:`~repro.errors.DeadlineExceeded` the moment it runs out
+-- surfaced to the client as ``Expired`` with ``aborted=True``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.errors import DeadlineExceeded
+from repro.query import best_first_knn
+from repro.serve import AsyncEngine, Request, SILCServer
+from repro.serve.protocol import (
+    Completed,
+    Expired,
+    response_to_dict,
+)
+
+
+@pytest.fixture()
+def engine(small_index, small_object_index):
+    return QueryEngine(small_index, small_object_index, cache_fraction=0.05)
+
+
+class TestSearchLevelBudget:
+    def test_zero_budget_expires_before_searching(
+        self, small_index, small_object_index
+    ):
+        with pytest.raises(DeadlineExceeded):
+            best_first_knn(small_index, small_object_index, 0, 3, time_budget=0.0)
+
+    def test_generous_budget_does_not_change_the_answer(
+        self, small_index, small_object_index
+    ):
+        free = best_first_knn(small_index, small_object_index, 7, 5, exact=True)
+        capped = best_first_knn(
+            small_index, small_object_index, 7, 5, exact=True, time_budget=60.0
+        )
+        assert capped.ids() == free.ids()
+
+
+class TestEngineLevelBudget:
+    def test_knn_time_cap(self, engine):
+        with pytest.raises(DeadlineExceeded):
+            engine.knn(0, 3, time_cap=0.0)
+        assert engine.knn(0, 3, time_cap=60.0).ids() == engine.knn(0, 3).ids()
+
+    def test_batch_budget_spans_the_whole_batch(self, engine):
+        with pytest.raises(DeadlineExceeded):
+            engine.knn_batch(range(10), 3, time_cap=0.0)
+        capped = engine.knn_batch(range(10), 3, time_cap=60.0)
+        assert capped.ids() == engine.knn_batch(range(10), 3).ids()
+
+
+class StallingEngine:
+    """A sync engine whose every kNN takes ``delay`` seconds and
+    honours ``time_cap`` exactly as the real search loops do."""
+
+    oracle = "silc"
+    storage = None
+
+    def __init__(self, inner: QueryEngine, delay: float) -> None:
+        self.inner = inner
+        self.delay = delay
+
+    def knn(self, query, k, **kwargs):
+        time_cap = kwargs.pop("time_cap", None)
+        time.sleep(self.delay)
+        if time_cap is not None and self.delay >= time_cap:
+            raise DeadlineExceeded("stalled past the execution budget")
+        return self.inner.knn(query, k, **kwargs)
+
+    def knn_batch(self, queries, k, **kwargs):
+        time_cap = kwargs.pop("time_cap", None)
+        time.sleep(self.delay)
+        if time_cap is not None and self.delay >= time_cap:
+            raise DeadlineExceeded("stalled past the execution budget")
+        return self.inner.knn_batch(queries, k, **kwargs)
+
+
+def serve_one(request, sync_engine):
+    async def go():
+        async with AsyncEngine(sync_engine) as ae:
+            server = SILCServer(ae)
+            async with server:
+                response = await server.submit(request)
+            return response, server.snapshot()
+
+    return asyncio.run(go())
+
+
+class TestServerDeadline:
+    def test_mid_execution_expiry_returns_aborted_expired(self, engine):
+        slow = StallingEngine(engine, delay=0.2)
+        request = Request(
+            id=1, client="web", kind="knn", queries=(0,), k=3, deadline=0.1
+        )
+        response, snapshot = serve_one(request, slow)
+        assert isinstance(response, Expired)
+        assert response.aborted is True
+        assert response.waited >= 0.2  # execution time counted, not late-delivered
+        assert snapshot.expired == 1
+        assert snapshot.deadline_aborts == 1
+
+    def test_deadline_met_completes_normally(self, engine):
+        slow = StallingEngine(engine, delay=0.01)
+        request = Request(
+            id=2, client="web", kind="knn", queries=(0,), k=3, deadline=30.0
+        )
+        response, snapshot = serve_one(request, slow)
+        assert isinstance(response, Completed)
+        assert response.degraded is False
+        assert snapshot.deadline_aborts == 0
+
+    def test_queue_expiry_is_not_flagged_aborted(self, engine):
+        """A request that expired while *queued* keeps the legacy
+        shape: Expired with aborted=False (nothing was cut short)."""
+        async def go():
+            async with AsyncEngine(engine) as ae:
+                server = SILCServer(ae, clock=time.monotonic)
+                async with server:
+                    request = Request(
+                        id=3, client="web", kind="knn", queries=(0,), k=3,
+                        deadline=1e-9,
+                    )
+                    # Any real scheduling gap exceeds a nanosecond.
+                    return await server.submit(request)
+
+        response = asyncio.run(go())
+        assert isinstance(response, Expired)
+        assert response.aborted is False
+
+
+class TestProtocolFlags:
+    def test_aborted_and_degraded_serialize_only_when_set(self):
+        plain = response_to_dict(Expired(id=1, client="c", waited=0.5))
+        assert "aborted" not in plain
+        aborted = response_to_dict(
+            Expired(id=1, client="c", waited=0.5, aborted=True)
+        )
+        assert aborted["aborted"] is True
+
+        ok = response_to_dict(
+            Completed(id=2, client="c", result={}, latency=0.1, sched_delay=0)
+        )
+        assert "degraded" not in ok
+        degraded = response_to_dict(
+            Completed(
+                id=2, client="c", result={}, latency=0.1, sched_delay=0,
+                degraded=True,
+            )
+        )
+        assert degraded["degraded"] is True
+
+
+class TestShardTierDeadline:
+    def test_router_budget_expires_and_never_returns_late(self, engine):
+        from repro.shard import ShardGroup
+
+        group = ShardGroup.from_engine(engine, 2)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                group.knn(0, 3, time_cap=1e-9)
+            generous = group.knn(0, 3, time_cap=60.0)
+            assert generous.ids() == group.knn(0, 3).ids()
+            with pytest.raises(DeadlineExceeded):
+                group.knn_batch(range(5), 3, time_cap=1e-9)
+        finally:
+            group.close()

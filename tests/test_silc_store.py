@@ -156,14 +156,17 @@ class TestPersistenceLayouts:
             loaded.detach_storage()
 
     def test_corrupt_file_rejected_at_load(self, tmp_path, small_net, small_index):
-        """A scrambled column must fail loudly, as the validating
-        per-table constructors used to guarantee."""
+        """A scrambled column must fail loudly.  The checksum manifest
+        now catches it before the per-table validating constructors
+        even see the bytes, and names the bad column."""
+        from repro.errors import CorruptIndexError
+
         path = tmp_path / "index.silc"
         small_index.save(path)
         codes = np.load(path / "codes.npy")
         codes[: len(codes) // 2] = codes[: len(codes) // 2][::-1]
         np.save(path / "codes.npy", codes)
-        with pytest.raises(ValueError, match="unsorted or overlapping"):
+        with pytest.raises(CorruptIndexError, match="codes"):
             SILCIndex.load(path, small_net)
 
     def test_mmap_knn_matches_in_memory(self, tmp_path, small_net, small_index, small_object_index):

@@ -1,0 +1,184 @@
+"""Crash-safe persistence: atomic saves, checksum manifests, typed
+corruption errors.
+
+The contract under test (docs/OPERATIONS.md "Failure modes"):
+
+* a save either publishes a complete, verified directory or leaves the
+  previous state untouched -- never a half-written index;
+* a truncated or byte-flipped column fails the *load* with
+  :class:`~repro.errors.CorruptIndexError` naming the bad column,
+  before any query can run on garbage;
+* pre-manifest directories (the legacy layout) still load.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptIndexError
+from repro.faults import corrupt_file, truncate_file
+from repro.integrity import (
+    MANIFEST_NAME,
+    atomic_directory,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.shard import ShardMap
+from repro.silc import SILCIndex
+
+
+@pytest.fixture()
+def saved(tmp_path, small_index):
+    path = tmp_path / "index.silc"
+    small_index.save(path)
+    return path
+
+
+class TestManifest:
+    def test_save_writes_a_verifiable_manifest(self, saved):
+        assert (saved / MANIFEST_NAME).exists()
+        assert verify_manifest(saved) is True
+        assert verify_manifest(saved, deep=True) is True
+        manifest = read_manifest(saved)
+        assert "codes.npy" in manifest["files"]
+        assert MANIFEST_NAME not in manifest["files"]
+
+    def test_no_manifest_means_unverified_not_an_error(self, tmp_path):
+        assert verify_manifest(tmp_path) is False
+
+    def test_truncation_caught_by_size_check(self, saved):
+        truncate_file(saved / "codes.npy")
+        with pytest.raises(CorruptIndexError, match="codes") as exc:
+            verify_manifest(saved)
+        assert exc.value.column == "codes"
+
+    def test_missing_column_caught(self, saved):
+        (saved / "levels.npy").unlink()
+        with pytest.raises(CorruptIndexError, match="levels"):
+            verify_manifest(saved)
+
+    def test_byte_flip_caught_only_by_deep_check(self, saved):
+        corrupt_file(saved / "colors.npy")
+        assert verify_manifest(saved) is True  # size is unchanged
+        with pytest.raises(CorruptIndexError, match="colors"):
+            verify_manifest(saved, deep=True)
+
+
+class TestAtomicDirectory:
+    def test_failure_mid_write_leaves_original_untouched(self, tmp_path):
+        path = tmp_path / "data"
+        with atomic_directory(path) as tmp:
+            np.save(tmp / "a.npy", np.arange(4))
+        before = sorted(p.name for p in path.iterdir())
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_directory(path) as tmp:
+                np.save(tmp / "b.npy", np.arange(8))
+                raise RuntimeError("boom")
+
+        assert sorted(p.name for p in path.iterdir()) == before
+        assert verify_manifest(path, deep=True) is True
+        # No staging litter left behind.
+        assert [p for p in tmp_path.iterdir() if p.name != "data"] == []
+
+    def test_success_replaces_the_directory_wholesale(self, tmp_path):
+        path = tmp_path / "data"
+        with atomic_directory(path) as tmp:
+            np.save(tmp / "old.npy", np.arange(4))
+        with atomic_directory(path) as tmp:
+            np.save(tmp / "new.npy", np.arange(8))
+        assert not (path / "old.npy").exists()
+        assert (path / "new.npy").exists()
+        assert verify_manifest(path, deep=True) is True
+
+
+class TestIndexLoadRejectsCorruption:
+    """The acceptance bar: corruption fails the *load*, pre-query."""
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_truncated_column_fails_load(self, saved, small_net, mmap):
+        truncate_file(saved / "lam_min.npy")
+        with pytest.raises(CorruptIndexError, match="lam_min"):
+            SILCIndex.load(saved, small_net, mmap=mmap)
+
+    def test_byte_flip_fails_eager_load(self, saved, small_net):
+        corrupt_file(saved / "lam_max.npy")
+        with pytest.raises(CorruptIndexError, match="lam_max"):
+            SILCIndex.load(saved, small_net)
+
+    def test_truncated_npz_fails_load(self, tmp_path, small_net, small_index):
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        truncate_file(path)
+        with pytest.raises(CorruptIndexError):
+            SILCIndex.load(path, small_net)
+
+    def test_legacy_directory_without_manifest_loads(
+        self, saved, small_net, small_index
+    ):
+        (saved / MANIFEST_NAME).unlink()
+        loaded = SILCIndex.load(saved, small_net)
+        assert np.array_equal(loaded.vertex_codes, small_index.vertex_codes)
+
+    def test_clean_roundtrip_still_works(self, saved, small_net, small_index):
+        loaded = SILCIndex.load(saved, small_net, mmap=True)
+        assert np.array_equal(loaded.vertex_codes, small_index.vertex_codes)
+
+
+class TestShardedLoadRejectsCorruption:
+    @pytest.fixture()
+    def sharded(self, tmp_path, small_index):
+        directory = tmp_path / "shards"
+        small_index.save_sharded(directory, ShardMap.from_index(small_index, 4))
+        return directory
+
+    def test_truncated_shard_column_fails_load(self, sharded, small_net):
+        shard_dirs = sorted(p for p in sharded.iterdir() if p.is_dir())
+        truncate_file(shard_dirs[0] / "codes.npy")
+        with pytest.raises(CorruptIndexError, match="codes"):
+            SILCIndex.load_sharded(sharded, small_net, primary=0, mmap=True)
+
+    def test_truncated_metadata_fails_load(self, sharded, small_net):
+        truncate_file(sharded / "vertex_codes.npy")
+        with pytest.raises(CorruptIndexError, match="vertex_codes"):
+            SILCIndex.load_sharded(sharded, small_net, primary=0, mmap=True)
+
+    def test_clean_sharded_roundtrip(self, sharded, small_net, small_index):
+        loaded = SILCIndex.load_sharded(sharded, small_net, primary=0, mmap=True)
+        assert np.array_equal(loaded.vertex_codes, small_index.vertex_codes)
+
+    def test_every_layer_has_a_manifest(self, sharded):
+        assert (sharded / MANIFEST_NAME).exists()
+        for sub in sorted(p for p in sharded.iterdir() if p.is_dir()):
+            assert (sub / MANIFEST_NAME).exists()
+
+
+class TestLabellingPersistence:
+    def test_labelling_save_verified_on_load(self, tmp_path, small_net):
+        from repro.oracle.labelling import PrunedLabellingOracle
+
+        oracle = PrunedLabellingOracle.build(small_net)
+        path = tmp_path / "labels"
+        oracle.save(path)
+        assert verify_manifest(path, deep=True) is True
+
+        loaded = PrunedLabellingOracle.load(path, small_net)
+        assert loaded.distance(0, 40) == pytest.approx(oracle.distance(0, 40))
+
+        truncate_file(path / "out_hubs.npy")
+        with pytest.raises(CorruptIndexError, match="out_hubs"):
+            PrunedLabellingOracle.load(path, small_net)
+
+
+class TestManifestFormat:
+    def test_manifest_is_json_with_sizes_and_checksums(self, saved):
+        manifest = json.loads((saved / MANIFEST_NAME).read_text())
+        entry = manifest["files"]["codes.npy"]
+        assert entry["size"] == (saved / "codes.npy").stat().st_size
+        assert isinstance(entry["crc32"], int)
+
+    def test_write_manifest_is_rerunnable(self, saved):
+        write_manifest(saved)
+        assert verify_manifest(saved, deep=True) is True
