@@ -1,0 +1,54 @@
+"""Project-specific static analysis: the ``repro check`` rule engine.
+
+The architecture invariants this package enforces live in prose in
+ARCHITECTURE.md ("Enforced invariants") and in the minds of whoever
+wrote the serving tier.  Prose does not fail CI; these rules do.  Each
+rule is a small :class:`~repro.analysis.core.Rule` subclass walking
+Python ASTs and emitting :class:`~repro.analysis.core.Finding` records
+with a stable ``RPRxxx`` identifier:
+
+========  ==========================================================
+RPR001    lock discipline: attributes guarded by ``with self._lock``
+          somewhere must never be mutated without it elsewhere
+RPR002    protocol exhaustiveness: every message tag sent across the
+          shard pipe / serve protocol has a matching handler arm
+RPR003    atomic writes: index/label/shard persistence goes through
+          ``repro.integrity`` staging, never bare ``open``/``np.save``
+RPR004    counted-op purity: no wall clock inside counted kernels
+          except the sanctioned ``repro.query.stats`` hooks
+RPR005    exception discipline: no bare/silent broad excepts; pipe
+          errors are types from ``repro.errors``
+RPR006    tracing no-op safety: every trace/span call site works with
+          ``NULL_TRACE``/``NULL_SPAN``; no ``repro.obs`` import in
+          inner-loop modules
+RPR007    deadline propagation: deadline-accepting functions forward
+          the budget to deadline-accepting callees
+========  ==========================================================
+
+A finding is silenced inline with ``# repro: ignore[RPRxxx] reason``
+on the offending line (or the line above); the justification text is
+mandatory -- an ignore without one does not suppress.  Repository-wide
+configuration lives in ``analysis.toml``; the CLI surface is
+``repro check [--json] [--rule ID] [paths]``.
+"""
+
+from repro.analysis.core import (
+    AnalysisConfig,
+    Analyzer,
+    Finding,
+    Module,
+    Rule,
+)
+from repro.analysis.rules import ALL_RULES, make_rules
+from repro.analysis.runner import run_check
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "Analyzer",
+    "Finding",
+    "Module",
+    "Rule",
+    "make_rules",
+    "run_check",
+]

@@ -1,0 +1,367 @@
+"""The rule engine behind ``repro check``.
+
+Three pieces:
+
+* :class:`Finding` -- one diagnostic, addressed ``path:line`` with a
+  stable rule id, JSON-serializable for the ``--json`` surface;
+* :class:`Rule` -- the plugin base class: per-module AST checks via
+  :meth:`Rule.check_module` plus a cross-module :meth:`Rule.finalize`
+  pass for rules that relate *files to each other* (protocol
+  exhaustiveness, deadline propagation);
+* :class:`Analyzer` -- parses every file once, runs the rules, then
+  applies inline suppressions.
+
+Suppressions are ``# repro: ignore[RPRxxx] justification`` comments on
+the finding's line or the line directly above.  The justification text
+is **required**: an ignore with an empty tail keeps the finding alive
+(annotated, so the author knows why).  This mirrors how production
+lint gates stay honest -- every silenced diagnostic documents the
+reason it is safe.
+
+The engine is stdlib-only (``ast`` + ``tomllib``) so it runs in any
+environment the package itself runs in, including CI images without
+third-party lint tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tomllib
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: Inline suppression syntax; group 1 = comma-separated rule ids,
+#: group 2 = the (mandatory) justification text.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]\s*(.*?)\s*$"
+)
+
+#: Rule-id shape; ``repro check --rule`` validates against this.
+RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule id, location, message, suppression state."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> Finding:
+        return cls(
+            rule=str(obj["rule"]),
+            path=str(obj["path"]),
+            line=int(obj["line"]),
+            message=str(obj["message"]),
+            suppressed=bool(obj.get("suppressed", False)),
+            justification=str(obj.get("justification", "")),
+        )
+
+
+@dataclass
+class Module:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> Module:
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            rel=rel,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            lines=source.splitlines(),
+        )
+
+
+def path_matches(rel: str, patterns: Iterable[str]) -> bool:
+    """True when ``rel`` is one of ``patterns`` or inside one of them.
+
+    Patterns are repository-relative POSIX paths; a pattern names
+    either a file (exact match) or a directory prefix.
+    """
+    for pattern in patterns:
+        pattern = pattern.rstrip("/")
+        if rel == pattern or rel.startswith(pattern + "/"):
+            return True
+    return False
+
+
+def scope_nodes(
+    module: Module, qualprefix: str | None
+) -> list[ast.AST]:
+    """AST nodes of one ``path::qualname`` selector.
+
+    ``qualprefix`` of ``None`` (or ``""``) selects the whole module;
+    otherwise every function/class whose dotted qualname equals the
+    prefix or starts with ``prefix.`` is returned (so ``ShardWorker``
+    selects the class and everything inside it).
+    """
+    if not qualprefix:
+        return [module.tree]
+    selected: list[ast.AST] = []
+
+    def visit(node: ast.AST, qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                childqual = f"{qual}.{child.name}" if qual else child.name
+                if childqual == qualprefix:
+                    selected.append(child)
+                else:
+                    visit(child, childqual)
+            else:
+                visit(child, qual)
+
+    visit(module.tree, "")
+    return selected
+
+
+class Rule:
+    """Base class every ``RPRxxx`` rule subclasses.
+
+    Subclasses set :attr:`rule_id`/:attr:`title`, may declare
+    :attr:`default_config` (overridden by the matching
+    ``[rules.RPRxxx]`` table of ``analysis.toml``), and implement
+    :meth:`check_module` (per file) and/or :meth:`finalize` (once,
+    after every file has been offered -- the hook for cross-file
+    rules).
+    """
+
+    rule_id = "RPR000"
+    title = "unnamed rule"
+    default_config: dict = {}
+
+    def __init__(self, config: dict | None = None) -> None:
+        merged = dict(self.default_config)
+        merged.update(config or {})
+        self.config = merged
+
+    def applies(self, module: Module) -> bool:
+        """Module filter; default honours a ``modules`` config list."""
+        patterns = self.config.get("modules") or []
+        return not patterns or path_matches(module.rel, patterns)
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, modules: Sequence[Module]) -> Iterable[Finding]:
+        return ()
+
+    # Convenience for subclasses -------------------------------------
+    def finding(self, module: Module, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id, path=module.rel, line=line, message=message
+        )
+
+
+@dataclass
+class AnalysisConfig:
+    """Parsed ``analysis.toml`` plus the root all paths resolve against."""
+
+    root: Path
+    raw: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> AnalysisConfig:
+        path = Path(path)
+        with open(path, "rb") as handle:
+            raw = tomllib.load(handle)
+        return cls(root=path.resolve().parent, raw=raw)
+
+    @classmethod
+    def discover(cls, start: str | Path = ".") -> AnalysisConfig:
+        """Find ``analysis.toml`` in ``start`` or any parent directory."""
+        directory = Path(start).resolve()
+        for candidate in (directory, *directory.parents):
+            config = candidate / "analysis.toml"
+            if config.is_file():
+                return cls.load(config)
+        return cls(root=directory)
+
+    @property
+    def default_paths(self) -> list[str]:
+        return list(
+            self.raw.get("analysis", {}).get("paths", ["src/repro"])
+        )
+
+    @property
+    def exclude(self) -> list[str]:
+        return list(self.raw.get("analysis", {}).get("exclude", []))
+
+    def rule_config(self, rule_id: str) -> dict:
+        return dict(self.raw.get("rules", {}).get(rule_id, {}))
+
+
+def _suppression_on(line: str) -> tuple[set[str], str] | None:
+    match = SUPPRESSION_RE.search(line)
+    if match is None:
+        return None
+    ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+    return ids, match.group(2).strip()
+
+
+class Analyzer:
+    """Drive a rule set over a file set and apply suppressions."""
+
+    def __init__(
+        self, config: AnalysisConfig, rules: Sequence[Rule]
+    ) -> None:
+        self.config = config
+        self.rules = list(rules)
+
+    # -- discovery ----------------------------------------------------
+    def discover_files(self, paths: Sequence[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for entry in paths:
+            path = Path(entry)
+            if not path.is_absolute():
+                path = self.config.root / path
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        unique: dict[Path, None] = {}
+        for path in files:
+            unique.setdefault(path.resolve())
+        return list(unique)
+
+    def load_modules(
+        self, paths: Sequence[str | Path]
+    ) -> tuple[list[Module], list[Finding]]:
+        """Parse the file set; unparseable files become findings."""
+        modules: list[Module] = []
+        errors: list[Finding] = []
+        for path in self.discover_files(paths):
+            try:
+                module = Module.parse(path, self.config.root)
+            except SyntaxError as exc:
+                rel = path.as_posix()
+                errors.append(
+                    Finding(
+                        rule="RPR000",
+                        path=rel,
+                        line=exc.lineno or 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            if path_matches(module.rel, self.config.exclude):
+                continue
+            modules.append(module)
+        return modules, errors
+
+    # -- running ------------------------------------------------------
+    def run(
+        self,
+        paths: Sequence[str | Path] | None = None,
+        rule_ids: Sequence[str] | None = None,
+    ) -> list[Finding]:
+        modules, findings = self.load_modules(
+            paths or self.config.default_paths
+        )
+        wanted = set(rule_ids) if rule_ids else None
+        for rule in self.rules:
+            if wanted is not None and rule.rule_id not in wanted:
+                continue
+            applicable = [m for m in modules if rule.applies(m)]
+            for module in applicable:
+                findings.extend(rule.check_module(module))
+            findings.extend(rule.finalize(applicable))
+        findings = [self._apply_suppression(f, modules) for f in findings]
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return findings
+
+    def _apply_suppression(
+        self, finding: Finding, modules: Sequence[Module]
+    ) -> Finding:
+        module = next(
+            (m for m in modules if m.rel == finding.path), None
+        )
+        if module is None or not (1 <= finding.line <= len(module.lines)):
+            return finding
+        candidates = [module.lines[finding.line - 1]]
+        if finding.line >= 2:
+            above = module.lines[finding.line - 2].strip()
+            if above.startswith("#"):
+                candidates.append(above)
+        for text in candidates:
+            parsed = _suppression_on(text)
+            if parsed is None:
+                continue
+            ids, justification = parsed
+            if finding.rule not in ids:
+                continue
+            if not justification:
+                return replace(
+                    finding,
+                    message=finding.message
+                    + " (ignore comment present but a justification is"
+                    " required)",
+                )
+            return replace(
+                finding, suppressed=True, justification=justification
+            )
+        return finding
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def arg_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    return [
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    ]
+
+
+def terminal_name(func: ast.expr) -> str | None:
+    """The rightmost name of a call target (``a.b.c(...)`` -> ``c``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

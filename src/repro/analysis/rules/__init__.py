@@ -1,0 +1,45 @@
+"""Rule registry: every shipped ``RPRxxx`` rule, in id order."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.core import AnalysisConfig, Rule
+from repro.analysis.rules.atomicwrite import AtomicWriteRule
+from repro.analysis.rules.deadline import DeadlinePropagationRule
+from repro.analysis.rules.exceptions import ExceptionDisciplineRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.protocol import ProtocolExhaustivenessRule
+from repro.analysis.rules.purity import CountedOpPurityRule
+from repro.analysis.rules.tracing import TracingNoOpRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    LockDisciplineRule,
+    ProtocolExhaustivenessRule,
+    AtomicWriteRule,
+    CountedOpPurityRule,
+    ExceptionDisciplineRule,
+    TracingNoOpRule,
+    DeadlinePropagationRule,
+)
+
+
+def make_rules(
+    config: AnalysisConfig,
+    rule_classes: Sequence[type[Rule]] = ALL_RULES,
+) -> list[Rule]:
+    """Instantiate the rule set with each rule's config table."""
+    return [cls(config.rule_config(cls.rule_id)) for cls in rule_classes]
+
+
+__all__ = [
+    "ALL_RULES",
+    "AtomicWriteRule",
+    "CountedOpPurityRule",
+    "DeadlinePropagationRule",
+    "ExceptionDisciplineRule",
+    "LockDisciplineRule",
+    "ProtocolExhaustivenessRule",
+    "TracingNoOpRule",
+    "make_rules",
+]

@@ -28,7 +28,7 @@ class ExplicitPathStorage:
         self.dist = dist
 
     @classmethod
-    def build(cls, network: SpatialNetwork, max_vertices: int = 1500) -> "ExplicitPathStorage":
+    def build(cls, network: SpatialNetwork, max_vertices: int = 1500) -> ExplicitPathStorage:
         """Materialize every path (guarded against oversized inputs).
 
         ``max_vertices`` protects interactive use: the structure is

@@ -25,7 +25,7 @@ class NextHopMatrix:
         self.dist = dist
 
     @classmethod
-    def build(cls, network: SpatialNetwork, chunk_size: int = 128) -> "NextHopMatrix":
+    def build(cls, network: SpatialNetwork, chunk_size: int = 128) -> NextHopMatrix:
         network.require_strongly_connected()
         n = network.num_vertices
         first = np.empty((n, n), dtype=np.int32)

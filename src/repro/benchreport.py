@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from statistics import median
 
+from repro.integrity import append_record
+
 #: Default history file, anchored to the source tree (two levels above
 #: this module: src/repro/ -> repo root), so ``repro bench-report``
 #: finds it from any working directory.
@@ -86,15 +88,13 @@ def append_build_time(
     precompute that was timed, so each lands in its own trajectory
     rows.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-    with path.open("a") as f:
-        f.write(
-            f"{stamp} n={n} seed={seed} workers={workers} "
-            f"chunk_size={chunk_size} shards={shards} oracle={oracle} "
-            f"seconds={seconds:.3f}\n"
-        )
+    append_record(
+        path,
+        f"{stamp} n={n} seed={seed} workers={workers} "
+        f"chunk_size={chunk_size} shards={shards} oracle={oracle} "
+        f"seconds={seconds:.3f}",
+    )
 
 
 def parse_build_times(text: str) -> list[BuildRecord]:
@@ -177,9 +177,9 @@ def format_report(records: list[BuildRecord]) -> str:
         max(len(header[i]), max(len(row[i]) for row in rows))
         for i in range(len(header))
     ]
-    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths, strict=True))]
     for row in rows:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths, strict=True)))
     span = f"{records[0].stamp} .. {records[-1].stamp}"
     lines.append(f"({len(records)} builds, {span})")
     return "\n".join(lines)
@@ -218,14 +218,12 @@ def append_serve_latency(
     path: str | Path = SERVE_LATENCY_PATH,
 ) -> None:
     """Append one serving run's percentiles to the latency trajectory."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-    with path.open("a") as f:
-        f.write(
-            f"{stamp} requests={requests} shards={shards} "
-            f"p50={p50:.6f} p95={p95:.6f} p99={p99:.6f}\n"
-        )
+    append_record(
+        path,
+        f"{stamp} requests={requests} shards={shards} "
+        f"p50={p50:.6f} p95={p95:.6f} p99={p99:.6f}",
+    )
 
 
 def parse_serve_latency(text: str) -> list[ServeLatencyRecord]:
@@ -286,9 +284,9 @@ def format_serve_report(records: list[ServeLatencyRecord]) -> str:
         max(len(header[i]), max(len(row[i]) for row in rows))
         for i in range(len(header))
     ]
-    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths, strict=True))]
     for row in rows:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths, strict=True)))
     span = f"{records[0].stamp} .. {records[-1].stamp}"
     lines.append(f"({len(records)} runs, {span})")
     return "\n".join(lines)

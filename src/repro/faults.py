@@ -52,7 +52,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Scripting
     # ------------------------------------------------------------------
-    def kill_worker_at(self, shard: int, nth_request: int) -> "FaultInjector":
+    def kill_worker_at(self, shard: int, nth_request: int) -> FaultInjector:
         """Kill ``shard``'s worker right before its Nth request (1-based).
 
         The ordinal counts *sends to that shard*, including replays
@@ -66,7 +66,7 @@ class FaultInjector:
             self._kill_at.setdefault(shard, set()).add(nth_request)
         return self
 
-    def delay_pipe(self, shard: int, seconds: float) -> "FaultInjector":
+    def delay_pipe(self, shard: int, seconds: float) -> FaultInjector:
         """Add ``seconds`` of latency before every request to ``shard``."""
         if seconds < 0:
             raise ValueError("delay must be non-negative")

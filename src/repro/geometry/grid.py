@@ -123,7 +123,7 @@ class GridEmbedding:
     @staticmethod
     def for_points(
         xs: np.ndarray, ys: np.ndarray, order: int, margin: float = 1e-9
-    ) -> "GridEmbedding":
+    ) -> GridEmbedding:
         """Embedding whose bounds enclose the given points.
 
         A relative ``margin`` widens the box so that the maximum

@@ -23,19 +23,19 @@ class Point:
     x: float
     y: float
 
-    def distance_to(self, other: "Point") -> float:
+    def distance_to(self, other: Point) -> float:
         """Euclidean distance to ``other``."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
-    def manhattan_to(self, other: "Point") -> float:
+    def manhattan_to(self, other: Point) -> float:
         """L1 distance to ``other`` (used by grid-network generators)."""
         return abs(self.x - other.x) + abs(self.y - other.y)
 
-    def midpoint(self, other: "Point") -> "Point":
+    def midpoint(self, other: Point) -> Point:
         """The point halfway between ``self`` and ``other``."""
         return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
 
-    def lerp(self, other: "Point", t: float) -> "Point":
+    def lerp(self, other: Point, t: float) -> Point:
         """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``.
 
         Used to position edge objects a fraction ``t`` of the way along
@@ -43,7 +43,7 @@ class Point:
         """
         return Point(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
 
-    def translated(self, dx: float, dy: float) -> "Point":
+    def translated(self, dx: float, dy: float) -> Point:
         """A copy of the point shifted by ``(dx, dy)``."""
         return Point(self.x + dx, self.y + dy)
 

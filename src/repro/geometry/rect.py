@@ -66,7 +66,7 @@ class Rect:
     def contains_xy(self, x: float, y: float) -> bool:
         return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
 
-    def contains_rect(self, other: "Rect") -> bool:
+    def contains_rect(self, other: Rect) -> bool:
         return (
             self.xmin <= other.xmin
             and self.ymin <= other.ymin
@@ -74,7 +74,7 @@ class Rect:
             and self.ymax >= other.ymax
         )
 
-    def intersects(self, other: "Rect") -> bool:
+    def intersects(self, other: Rect) -> bool:
         """Closed-interval overlap test (shared edges count as overlap)."""
         return not (
             self.xmax < other.xmin
@@ -83,7 +83,7 @@ class Rect:
             or other.ymax < self.ymin
         )
 
-    def intersection(self, other: "Rect") -> "Rect | None":
+    def intersection(self, other: Rect) -> Rect | None:
         """The overlapping rectangle, or ``None`` when disjoint."""
         if not self.intersects(other):
             return None
@@ -94,7 +94,7 @@ class Rect:
             min(self.ymax, other.ymax),
         )
 
-    def union(self, other: "Rect") -> "Rect":
+    def union(self, other: Rect) -> Rect:
         """The smallest rectangle enclosing both operands."""
         return Rect(
             min(self.xmin, other.xmin),
@@ -133,7 +133,7 @@ class Rect:
         dy = max(p.y - self.ymin, self.ymax - p.y)
         return math.hypot(dx, dy)
 
-    def min_distance_to_rect(self, other: "Rect") -> float:
+    def min_distance_to_rect(self, other: Rect) -> float:
         """Minimum Euclidean distance between two rectangles."""
         dx = max(other.xmin - self.xmax, self.xmin - other.xmax, 0.0)
         dy = max(other.ymin - self.ymax, self.ymin - other.ymax, 0.0)

@@ -32,7 +32,7 @@ import shutil
 import zlib
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -205,7 +205,7 @@ def atomic_directory(path: str | Path) -> Iterator[Path]:
         os.replace(tmp, path)
 
 
-def atomic_save_npz(path: str | Path, **arrays) -> None:
+def atomic_save_npz(path: str | Path, **arrays: np.ndarray) -> None:
     """``np.savez_compressed`` through a tmp file + ``os.replace``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -218,3 +218,55 @@ def atomic_save_npz(path: str | Path, **arrays) -> None:
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def atomic_save_npy(path: str | Path, array: np.ndarray) -> None:
+    """``np.save`` through a tmp file + ``os.replace``.
+
+    For single ``.npy`` columns written next to already-published data
+    (e.g. the sharded save's top-level metadata): readers see the old
+    file or the complete new file, never a truncated one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.stem}.tmp-{os.getpid()}.npy")
+    try:
+        np.save(tmp, array)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Replace ``path`` with ``text`` via a tmp file + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def append_record(path: str | Path, line: str) -> None:
+    """Append one record line to a trajectory file, crash-safely.
+
+    The line (newline added if missing) goes out in a single
+    ``write`` on an ``O_APPEND`` descriptor and is flushed before
+    close, so concurrent benchmark runs interleave whole records and a
+    crash can only lose the final line, never tear one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())

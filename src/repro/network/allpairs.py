@@ -20,7 +20,7 @@ source that roots its subtree, which is precisely the first hop.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 from scipy.sparse import csgraph

@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.network.errors import PathNotFound
 from repro.network.graph import SpatialNetwork

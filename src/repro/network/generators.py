@@ -188,7 +188,7 @@ def road_like_network(
     mst = csgraph.minimum_spanning_tree(graph).tocoo()
     mst_edges = {
         (min(int(r), int(c)), max(int(r), int(c)))
-        for r, c in zip(mst.row, mst.col)
+        for r, c in zip(mst.row, mst.col, strict=True)
     }
 
     keep: list[int] = []

@@ -14,7 +14,7 @@ reproduction needs:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -109,7 +109,7 @@ class SpatialNetwork:
         xs: np.ndarray,
         ys: np.ndarray,
         csr: sparse.csr_matrix,
-    ) -> "SpatialNetwork":
+    ) -> SpatialNetwork:
         """Trusted reconstruction from a CSR adjacency matrix.
 
         The inverse of :meth:`to_csr` for matrices that *came from*
@@ -133,7 +133,7 @@ class SpatialNetwork:
         radj_lists: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         for u in range(n):
             lo, hi = bounds[u], bounds[u + 1]
-            row = tuple(zip(targets[lo:hi], weights[lo:hi]))
+            row = tuple(zip(targets[lo:hi], weights[lo:hi], strict=True))
             adj.append(row)
             for v, w in row:
                 radj_lists[v].append((u, w))
@@ -281,13 +281,13 @@ class SpatialNetwork:
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
-    def with_edges(self, extra: Iterable[tuple[int, int, float]]) -> "SpatialNetwork":
+    def with_edges(self, extra: Iterable[tuple[int, int, float]]) -> SpatialNetwork:
         """A new network with additional edges."""
         return SpatialNetwork(
             self.xs, self.ys, list(self.iter_edges()) + list(extra)
         )
 
-    def without_edges(self, removed: Iterable[tuple[int, int]]) -> "SpatialNetwork":
+    def without_edges(self, removed: Iterable[tuple[int, int]]) -> SpatialNetwork:
         """A new network with the given directed edges removed.
 
         Models the paper's road-closure update scenario: derive a new

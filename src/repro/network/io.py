@@ -45,6 +45,7 @@ def load_npz(path: str | Path) -> SpatialNetwork:
                 data["edge_src"].tolist(),
                 data["edge_dst"].tolist(),
                 data["edge_w"].tolist(),
+                strict=True,
             ),
         )
 
@@ -68,7 +69,7 @@ def load_text(path: str | Path) -> SpatialNetwork:
     """
     coords: dict[int, tuple[float, float]] = {}
     edges: list[tuple[int, int, float]] = []
-    with open(Path(path), "r", encoding="utf-8") as f:
+    with open(Path(path), encoding="utf-8") as f:
         for lineno, raw in enumerate(f, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):

@@ -15,7 +15,7 @@ intersected purely in Morton-code space.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.geometry.grid import GridEmbedding
 from repro.geometry.point import Point
@@ -53,9 +53,10 @@ class ObjectIndex:
             # deduplicate by object id.
             for part in position_parts(obj.position):
                 self.tree.insert(obj.oid, position_point(network, part))
-                if isinstance(part, VertexPosition):
-                    if obj.oid not in self._vertex_objects[part.vertex]:
-                        self._vertex_objects[part.vertex].append(obj.oid)
+                if isinstance(part, VertexPosition) and (
+                    obj.oid not in self._vertex_objects[part.vertex]
+                ):
+                    self._vertex_objects[part.vertex].append(obj.oid)
         self._compute_edge_flags()
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ stored in the PMR quadtree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.geometry.point import Point
 from repro.network.graph import SpatialNetwork
@@ -58,7 +58,7 @@ class ExtentPosition:
     minimum over its parts (any entrance will do).
     """
 
-    parts: "tuple[VertexPosition | EdgePosition, ...]"
+    parts: tuple[VertexPosition | EdgePosition, ...]
 
     def __post_init__(self) -> None:
         if not self.parts:
@@ -144,7 +144,7 @@ class ObjectSet:
     @staticmethod
     def at_vertices(
         network: SpatialNetwork, vertices: Sequence[int]
-    ) -> "ObjectSet":
+    ) -> ObjectSet:
         """Objects placed on the given vertices, ids ``0..len-1``.
 
         The same vertex may appear multiple times (two restaurants on
@@ -164,7 +164,7 @@ class ObjectSet:
     def on_edges(
         network: SpatialNetwork,
         placements: Sequence[tuple[int, int, float]],
-    ) -> "ObjectSet":
+    ) -> ObjectSet:
         """Objects placed at ``(a, b, fraction)`` edge positions."""
         objects = []
         for i, (a, b, fraction) in enumerate(placements):
@@ -178,8 +178,8 @@ class ObjectSet:
     @staticmethod
     def with_extents(
         network: SpatialNetwork,
-        extents: "Sequence[Sequence[VertexPosition | EdgePosition]]",
-    ) -> "ObjectSet":
+        extents: Sequence[Sequence[VertexPosition | EdgePosition]],
+    ) -> ObjectSet:
         """Objects each occupying several vertex/edge positions."""
         objects = []
         for i, parts in enumerate(extents):

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 #: Samples kept per histogram window (percentiles reflect recent load).
 DEFAULT_WINDOW = 4096
@@ -54,7 +56,7 @@ ENGINE_OPS = (
 )
 
 
-def percentiles(values, qs) -> list[float]:
+def percentiles(values: Iterable[float], qs: Sequence[float]) -> list[float]:
     """Linear-interpolated percentiles of ``values`` from **one** sort.
 
     ``qs`` is a sequence of percentile points in ``[0, 100]``; the
@@ -109,22 +111,22 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
-    def inc(self, name: str, value: float = 1, **labels) -> None:
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
         """Add ``value`` to a counter sample (event-sourced feeding)."""
         key = _key(name, labels)
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + value
 
-    def set_counter(self, name: str, value: float, **labels) -> None:
+    def set_counter(self, name: str, value: float, **labels: Any) -> None:
         """Assign a counter sample absolutely (idempotent absorption)."""
         with self._lock:
             self._counters[_key(name, labels)] = value
 
-    def set_gauge(self, name: str, value: float, **labels) -> None:
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         with self._lock:
             self._gauges[_key(name, labels)] = value
 
-    def observe(self, name: str, value: float, **labels) -> None:
+    def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one histogram observation."""
         key = _key(name, labels)
         with self._lock:
@@ -135,7 +137,7 @@ class MetricsRegistry:
             window.append(float(value))
             self._hist_counts[key] = self._hist_counts.get(key, 0) + 1
 
-    def counter_value(self, name: str, **labels) -> float:
+    def counter_value(self, name: str, **labels: Any) -> float:
         with self._lock:
             return self._counters.get(_key(name, labels), 0)
 
@@ -143,7 +145,7 @@ class MetricsRegistry:
     # Absorption of the purpose-built accumulators (duck-typed, so the
     # registry never imports the layers that import it)
     # ------------------------------------------------------------------
-    def absorb_server(self, snapshot) -> None:
+    def absorb_server(self, snapshot: Any) -> None:
         """Mirror a :class:`~repro.serve.metrics.MetricsSnapshot`."""
         for outcome, value in (
             ("completed", snapshot.served),
@@ -171,7 +173,7 @@ class MetricsRegistry:
                 )
         self.absorb_server_aborts(snapshot)
 
-    def absorb_planner(self, stats) -> None:
+    def absorb_planner(self, stats: Any) -> None:
         """Mirror a :class:`~repro.oracle.planner.PlannerStats`."""
         for backend, value in stats.decisions.items():
             self.set_counter(
@@ -187,7 +189,7 @@ class MetricsRegistry:
             stage="plan",
         )
 
-    def absorb_router(self, stats) -> None:
+    def absorb_router(self, stats: Any) -> None:
         """Mirror a :class:`~repro.shard.router.RouterStats`."""
         self.set_counter("router_queries_total", stats.queries, stage="route")
         for event, value in (
@@ -210,7 +212,7 @@ class MetricsRegistry:
             stage="route",
         )
 
-    def absorb_server_aborts(self, snapshot) -> None:
+    def absorb_server_aborts(self, snapshot: Any) -> None:
         """Mirror the fault-path counters of a
         :class:`~repro.serve.metrics.MetricsSnapshot` (deadline aborts
         and degraded completions); split out so legacy snapshots
@@ -226,7 +228,7 @@ class MetricsRegistry:
             stage="serve", event="degraded_response",
         )
 
-    def absorb_supervisor(self, stats) -> None:
+    def absorb_supervisor(self, stats: Any) -> None:
         """Mirror a :class:`~repro.shard.supervisor.SupervisorStats`.
 
         Every fault event lands in one ``fault_events_total`` family
@@ -245,7 +247,7 @@ class MetricsRegistry:
                 "fault_events_total", value, stage="shard", event=event
             )
 
-    def absorb_build(self, stats) -> None:
+    def absorb_build(self, stats: Any) -> None:
         """Mirror a :class:`~repro.silc.parallel.BuildTransferStats`."""
         self.set_counter(
             "build_chunks_total", stats.chunks,

@@ -31,7 +31,8 @@ class JsonlTraceSink:
             self._stream = target
             self._owns = False
         else:
-            self._stream = open(target, "a", encoding="utf-8")
+            # Held for the sink's lifetime; closed by close().
+            self._stream = open(target, "a", encoding="utf-8")  # noqa: SIM115
             self._owns = True
         self._lock = threading.Lock()
         self.written = 0
@@ -48,7 +49,7 @@ class JsonlTraceSink:
             if self._owns:
                 self._stream.close()
 
-    def __enter__(self) -> "JsonlTraceSink":
+    def __enter__(self) -> JsonlTraceSink:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:

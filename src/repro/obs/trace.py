@@ -84,7 +84,7 @@ class Span:
         self.counters: dict = {}
         self.labels: dict = labels
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -146,7 +146,7 @@ class Trace:
 
     enabled = True
 
-    def __init__(self, tracer: "Tracer", trace_id: str, labels: dict) -> None:
+    def __init__(self, tracer: Tracer, trace_id: str, labels: dict) -> None:
         self.tracer = tracer
         self.trace_id = trace_id
         self.labels = labels
@@ -348,7 +348,7 @@ class NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "NullSpan":
+    def __enter__(self) -> NullSpan:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:

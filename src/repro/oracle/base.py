@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
+from pathlib import Path
+from typing import Any
 
 from repro.network.dijkstra import IncrementalDijkstra
 from repro.query.results import KNNResult
@@ -86,7 +88,7 @@ class DistanceOracle(ABC):
         """Exact network distance between two vertices (inf if unreachable)."""
 
     @abstractmethod
-    def knn(self, query, k: int, **kwargs) -> KNNResult:
+    def knn(self, query: Any, k: int, **kwargs: Any) -> KNNResult:
         """The k nearest objects of the bound object index."""
 
     def anchored_distance(
@@ -95,7 +97,7 @@ class DistanceOracle(ABC):
         t_anchors: Sequence[tuple[int, float]],
         best: float = math.inf,
         stats: QueryStats | None = None,
-        storage=None,
+        storage: Any = None,
     ) -> float:
         """Exact location-to-location distance via anchor decomposition.
 
@@ -120,11 +122,11 @@ class DistanceOracle(ABC):
     # ------------------------------------------------------------------
     # Persistence (only precomputed oracles override)
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         raise NotImplementedError(f"{self.name!r} oracle has no persistent state")
 
     @classmethod
-    def load(cls, path, network, mmap: bool = False) -> "DistanceOracle":
+    def load(cls, path: str | Path, network: Any, mmap: bool = False) -> DistanceOracle:
         raise NotImplementedError(f"{cls.__name__} has no persistent state")
 
 
@@ -147,7 +149,7 @@ class DijkstraOracle(DistanceOracle):
         precomputed=False,
     )
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: Any) -> None:
         self.network = network
 
     def distance(self, source: int, target: int) -> float:
@@ -165,7 +167,7 @@ class DijkstraOracle(DistanceOracle):
         t_anchors: Sequence[tuple[int, float]],
         best: float = math.inf,
         stats: QueryStats | None = None,
-        storage=None,
+        storage: Any = None,
     ) -> float:
         expansion = IncrementalDijkstra(self.network, seeds=src_anchors)
         remaining = {tv for tv, _ in t_anchors}
@@ -184,7 +186,7 @@ class DijkstraOracle(DistanceOracle):
                 best = min(best, expansion.dist[tv] + t_off)
         return best
 
-    def knn(self, query, k: int, **kwargs) -> KNNResult:
+    def knn(self, query: Any, k: int, **kwargs: Any) -> KNNResult:
         raise NotImplementedError(
             "DijkstraOracle answers distances only; use INEOracle for kNN"
         )

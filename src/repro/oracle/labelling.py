@@ -31,10 +31,9 @@ from __future__ import annotations
 
 import heapq
 import math
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -42,7 +41,7 @@ from repro.integrity import atomic_directory, checked_load, verify_manifest
 from repro.network.graph import SpatialNetwork
 from repro.oracle.base import DistanceOracle, OracleInfo
 from repro.query.results import KNNResult
-from repro.query.stats import QueryStats
+from repro.query.stats import QueryStats, counted_clock
 
 #: Column files of one saved labelling, in canonical order.
 LABEL_COLUMNS = (
@@ -132,7 +131,7 @@ class PrunedLabellingOracle(DistanceOracle):
         network: SpatialNetwork,
         object_index=None,
         progress: Callable[[int, int], None] | None = None,
-    ) -> "PrunedLabellingOracle":
+    ) -> PrunedLabellingOracle:
         """Run the pruned-landmark precompute.
 
         One forward and one backward pruned Dijkstra per vertex, in
@@ -140,7 +139,7 @@ class PrunedLabellingOracle(DistanceOracle):
         require strong connectivity: unreachable pairs simply share no
         hub and answer ``inf``.
         """
-        t0 = time.perf_counter()
+        t0 = counted_clock()
         n = network.num_vertices
         order = sorted(
             range(n),
@@ -163,7 +162,7 @@ class PrunedLabellingOracle(DistanceOracle):
         def pruned_sssp(hub_rank, hub, hub_label_r, hub_label_d,
                         settle_r, settle_d, neighbors):
             """One pruned Dijkstra; adds (hub_rank, d) to settle_* labels."""
-            for r, d in zip(hub_label_r, hub_label_d):
+            for r, d in zip(hub_label_r, hub_label_d, strict=True):
                 tmp[r] = d
             dist = {hub: 0.0}
             done = set()
@@ -174,7 +173,7 @@ class PrunedLabellingOracle(DistanceOracle):
                     continue
                 done.add(u)
                 pruned = False
-                for r, dr in zip(settle_r[u], settle_d[u]):
+                for r, dr in zip(settle_r[u], settle_d[u], strict=True):
                     if tmp[r] + dr <= d:
                         pruned = True
                         break
@@ -229,11 +228,11 @@ class PrunedLabellingOracle(DistanceOracle):
             entries_in=e_in,
             mean_out=e_out / n,
             mean_in=e_in / n,
-            build_seconds=time.perf_counter() - t0,
+            build_seconds=counted_clock() - t0,
         )
         return cls(network, columns, object_index=object_index, build_stats=stats)
 
-    def bind_objects(self, object_index) -> "PrunedLabellingOracle":
+    def bind_objects(self, object_index) -> PrunedLabellingOracle:
         """Attach the object index ``knn`` answers over (returns self)."""
         self.object_index = object_index
         return self
@@ -344,7 +343,7 @@ class PrunedLabellingOracle(DistanceOracle):
     @classmethod
     def load(
         cls, path, network: SpatialNetwork, mmap: bool = False
-    ) -> "PrunedLabellingOracle":
+    ) -> PrunedLabellingOracle:
         """Restore a saved labelling for the same network.
 
         ``mmap=True`` memory-maps the hub/dist columns so cold start

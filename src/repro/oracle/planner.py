@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 
+from repro.integrity import atomic_write_text
 from repro.oracle.base import DistanceOracle
 from repro.query.stats import QueryStats
 
@@ -93,10 +94,12 @@ class CostConstants:
             "miss_rate": self.miss_rate,
         }
         path = Path(directory) / COST_MODEL_FILE
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     @classmethod
-    def load(cls, directory) -> "CostConstants | None":
+    def load(cls, directory) -> CostConstants | None:
         path = Path(directory) / COST_MODEL_FILE
         if not path.exists():
             return None

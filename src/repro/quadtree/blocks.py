@@ -119,7 +119,7 @@ class BlockTable:
         lam_min: np.ndarray,
         lam_max: np.ndarray,
         ends: np.ndarray | None = None,
-    ) -> "BlockTable":
+    ) -> BlockTable:
         """Trusted zero-copy construction over pre-validated columns.
 
         Skips dtype coercion and the sortedness/disjointness checks --

@@ -15,7 +15,7 @@ tolerated -- the PMR analogue of its bounded-splitting rule).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.geometry.grid import GridEmbedding
 from repro.geometry.morton import block_cells, morton_encode
@@ -29,7 +29,7 @@ class PMRNode:
 
     code: int
     level: int
-    children: "list[PMRNode] | None" = None
+    children: list[PMRNode] | None = None
     entries: list[tuple[int, int, Point]] = field(default_factory=list)
 
     @property

@@ -37,7 +37,7 @@ def next_different(labels: np.ndarray) -> np.ndarray:
     change = np.flatnonzero(labels[1:] != labels[:-1]) + 1
     boundaries = np.concatenate([change, [n]])
     starts = np.concatenate([[0], change])
-    for s, b in zip(starts, boundaries):
+    for s, b in zip(starts, boundaries, strict=True):
         nd[s:b] = b
     return nd
 

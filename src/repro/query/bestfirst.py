@@ -32,7 +32,6 @@ import heapq
 import itertools
 import math
 from bisect import bisect_left, insort
-from time import perf_counter
 
 from repro.errors import DeadlineExceeded
 from repro.objects.index import ObjectIndex
@@ -40,7 +39,7 @@ from repro.objects.model import NetworkPosition
 from repro.query.distances import ObjectDistanceState, QueryHandle
 from repro.query.location import resolve_location
 from repro.query.results import KNNResult, Neighbor
-from repro.query.stats import QueryStats
+from repro.query.stats import QueryStats, counted_clock
 from repro.silc.index import SILCIndex
 from repro.silc.refinement import RefinementCounter
 
@@ -67,15 +66,15 @@ class _ResultQueue:
         self.stats = stats
 
     def add(self, oid: int, hi: float) -> None:
-        start = perf_counter()
+        start = counted_clock()
         entry = (hi, next(self._seq), oid)
         insort(self.entries, entry)
         self._where[oid] = entry
         self.stats.l_ops += 1
-        self.stats.l_time += perf_counter() - start
+        self.stats.l_time += counted_clock() - start
 
     def update(self, oid: int, hi: float) -> None:
-        start = perf_counter()
+        start = counted_clock()
         # The oid -> entry map turns the former linear scan into one
         # binary search (entries are unique tuples, so bisect lands
         # exactly on the stale entry).
@@ -88,13 +87,13 @@ class _ResultQueue:
         insort(self.entries, entry)
         self._where[oid] = entry
         self.stats.l_ops += 1
-        self.stats.l_time += perf_counter() - start
+        self.stats.l_time += counted_clock() - start
 
     def dk(self, k: int) -> float:
-        start = perf_counter()
+        start = counted_clock()
         value = self.entries[k - 1][0] if len(self.entries) >= k else math.inf
         self.stats.l_ops += 1
-        self.stats.l_time += perf_counter() - start
+        self.stats.l_time += counted_clock() - start
         return value
 
 
@@ -201,11 +200,11 @@ def best_first_knn(
     # ulp up keeps objects at exactly max_distance reportable.
     cap = math.nextafter(max_distance, math.inf)
 
-    t_start = perf_counter()
+    t_start = counted_clock()
     deadline = None if time_budget is None else t_start + time_budget
 
     def check_deadline(confirmed_count: int) -> None:
-        if deadline is not None and perf_counter() > deadline:
+        if deadline is not None and counted_clock() > deadline:
             raise DeadlineExceeded(
                 f"kNN search exceeded its {time_budget:.4f}s budget "
                 f"({confirmed_count} of {k} neighbors confirmed)"
@@ -405,7 +404,7 @@ def best_first_knn(
         stats.io_misses = delta.misses
         stats.io_time = delta.io_time(index.storage.miss_latency)
 
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     return KNNResult(
         neighbors=neighbors, stats=stats, ordered=(variant != "knn_m")
     )

@@ -26,14 +26,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from time import perf_counter
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.objects.index import ObjectIndex
 from repro.query.distances import ObjectDistanceState, QueryHandle
 from repro.query.location import resolve_location
 from repro.query.results import KNNResult, Neighbor
-from repro.query.stats import QueryStats
+from repro.query.stats import QueryStats, counted_clock
 from repro.silc.index import SILCIndex
 from repro.silc.intervals import DistanceInterval
 from repro.silc.refinement import RefinementCounter
@@ -211,7 +210,7 @@ def range_query(
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    t_start = perf_counter()
+    t_start = counted_clock()
     stats = QueryStats()
     counter = RefinementCounter()
     position = resolve_location(index.network, query)
@@ -248,7 +247,7 @@ def range_query(
         )
         for s in hits
     ]
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     return KNNResult(neighbors=neighbors, stats=stats, ordered=True)
 
 
@@ -276,7 +275,7 @@ def approximate_knn(
         raise ValueError("epsilon must be non-negative")
     if k < 1:
         raise ValueError("k must be at least 1")
-    t_start = perf_counter()
+    t_start = counted_clock()
     stats = QueryStats()
     counter = RefinementCounter()
     position = resolve_location(index.network, query)
@@ -308,7 +307,7 @@ def approximate_knn(
         )
         for s in confirmed
     ]
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     return KNNResult(neighbors=neighbors, stats=stats, ordered=True)
 
 
@@ -332,7 +331,7 @@ def aggregate_nn(
     if not queries:
         raise ValueError("at least one query location required")
     combine = sum if agg == "sum" else max
-    t_start = perf_counter()
+    t_start = counted_clock()
     stats = QueryStats()
     counter = RefinementCounter()
     handles = [
@@ -363,7 +362,7 @@ def aggregate_nn(
         Neighbor(oid=s.oid, interval=s.interval, distance=s.interval.lo)
         for s in confirmed
     ]
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     return KNNResult(neighbors=neighbors, stats=stats, ordered=True)
 
 

@@ -23,7 +23,6 @@ a label merge.
 from __future__ import annotations
 
 import math
-from time import perf_counter
 
 from repro.network.astar import astar_path
 from repro.objects.index import ObjectIndex
@@ -35,7 +34,7 @@ from repro.query.location import (
     target_anchors,
 )
 from repro.query.results import KNNResult, Neighbor
-from repro.query.stats import QueryStats
+from repro.query.stats import QueryStats, counted_clock
 from repro.silc.intervals import DistanceInterval
 
 
@@ -107,7 +106,7 @@ def ier_knn(
         oracle = DijkstraOracle(object_index.network)
     else:
         engine = "oracle"
-    t_start = perf_counter()
+    t_start = counted_clock()
     stats = QueryStats()
     network = object_index.network
     io_before = storage.snapshot() if storage is not None else None
@@ -150,7 +149,7 @@ def ier_knn(
         stats.io_accesses = delta.accesses
         stats.io_misses = delta.misses
         stats.io_time = delta.io_time(storage.miss_latency)
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     if neighbors:
         stats.dk_final = neighbors[-1].distance
     return KNNResult(neighbors=neighbors, stats=stats, ordered=True)

@@ -14,14 +14,13 @@ probes the object index at each settled vertex.
 from __future__ import annotations
 
 import math
-from time import perf_counter
 
 from repro.network.dijkstra import IncrementalDijkstra
 from repro.objects.index import ObjectIndex
 from repro.objects.model import EdgePosition, position_parts
 from repro.query.location import resolve_location, same_edge_direct, source_anchors
 from repro.query.results import KNNResult, Neighbor
-from repro.query.stats import QueryStats
+from repro.query.stats import QueryStats, counted_clock
 from repro.silc.intervals import DistanceInterval
 
 
@@ -37,7 +36,7 @@ def ine_knn(object_index: ObjectIndex, query, k: int, storage=None) -> KNNResult
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    t_start = perf_counter()
+    t_start = counted_clock()
     stats = QueryStats()
     network = object_index.network
     position = resolve_location(network, query)
@@ -103,7 +102,7 @@ def ine_knn(object_index: ObjectIndex, query, k: int, storage=None) -> KNNResult
         stats.io_accesses = delta.accesses
         stats.io_misses = delta.misses
         stats.io_time = delta.io_time(storage.miss_latency)
-    stats.elapsed = perf_counter() - t_start
+    stats.elapsed = counted_clock() - t_start
     if neighbors:
         stats.dk_final = neighbors[-1].distance
     return KNNResult(neighbors=neighbors, stats=stats, ordered=True)

@@ -29,7 +29,7 @@ QueryLocation = "int | NetworkPosition | Point"
 
 
 def resolve_location(
-    network: SpatialNetwork, query: "int | NetworkPosition | Point"
+    network: SpatialNetwork, query: int | NetworkPosition | Point
 ) -> NetworkPosition:
     """Normalize any accepted query form to a network position."""
     if isinstance(query, int):
@@ -107,10 +107,11 @@ def same_edge_direct(
             return 0.0
         return None
     if isinstance(source, EdgePosition) and isinstance(target, EdgePosition):
-        if (source.a, source.b) == (target.a, target.b):
-            if target.fraction >= source.fraction:
-                w = network.edge_weight(source.a, source.b)
-                return (target.fraction - source.fraction) * w
+        if (source.a, source.b) == (target.a, target.b) and (
+            target.fraction >= source.fraction
+        ):
+            w = network.edge_weight(source.a, source.b)
+            return (target.fraction - source.fraction) * w
         if (source.b, source.a) == (target.a, target.b) and network.has_edge(
             target.a, target.b
         ):

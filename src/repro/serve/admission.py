@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.serve.protocol import Request
 

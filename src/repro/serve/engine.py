@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.engine import BatchResult, QueryEngine
 from repro.query.results import KNNResult
@@ -243,7 +243,7 @@ class AsyncEngine:
                 else:
                     index.attach_storage(self._previous_storage)
 
-    async def __aenter__(self) -> "AsyncEngine":
+    async def __aenter__(self) -> AsyncEngine:
         return self
 
     async def __aexit__(self, *exc) -> None:

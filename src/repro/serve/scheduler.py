@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.serve.protocol import Request
 
@@ -88,7 +88,7 @@ class FairScheduler:
             raise ValueError("default_weight must be at least 1")
         self.chunk_size = chunk_size
         self.default_weight = default_weight
-        self._lanes: "OrderedDict[str, _Lane]" = OrderedDict()
+        self._lanes: OrderedDict[str, _Lane] = OrderedDict()
         self._cursor: int = 0
         #: Monotone count of engine queries handed out by next_chunk().
         self.dispatched: int = 0

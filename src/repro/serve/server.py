@@ -28,7 +28,8 @@ import json
 import time
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import Callable, TextIO
+from collections.abc import Callable
+from typing import TextIO
 
 from repro.errors import DeadlineExceeded
 from repro.obs.trace import NullTracer
@@ -129,7 +130,7 @@ class SILCServer:
         await self._dispatcher
         self._dispatcher = None
 
-    async def __aenter__(self) -> "SILCServer":
+    async def __aenter__(self) -> SILCServer:
         await self.start()
         return self
 
@@ -288,7 +289,7 @@ class SILCServer:
                     )
                     pending.stats.append(r.stats)
                     result = {"ids": r.ids(), "distances": r.distances()}
-                else:  # knn_batch chunk
+                elif request.kind == "knn_batch":
                     batch = await self.engine.knn_batch(
                         chunk.queries, request.k,
                         variant=request.variant, exact=request.exact,
@@ -301,6 +302,13 @@ class SILCServer:
                     if not chunk.last:
                         return  # more chunks of this batch still queued
                     result = {"ids": pending.ids, "distances": pending.distances}
+                else:
+                    # Request validation keeps kind within KINDS; a
+                    # kind added there without an arm here fails loudly
+                    # (and repro check RPR002 catches it statically).
+                    raise ValueError(
+                        f"unhandled request kind {request.kind!r}"
+                    )
         except DeadlineExceeded:
             waited = self.clock() - pending.submitted
             self.metrics.record_expired(aborted=True)

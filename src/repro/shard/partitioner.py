@@ -75,7 +75,7 @@ class ShardMap:
     @classmethod
     def from_codes(
         cls, codes: np.ndarray, num_shards: int, order: int
-    ) -> "ShardMap":
+    ) -> ShardMap:
         """Equal-population cuts of the sorted vertex Morton codes.
 
         Boundaries are forced strictly increasing, so degenerate inputs
@@ -101,7 +101,7 @@ class ShardMap:
         return cls(boundaries, assign.astype(np.int64), order)
 
     @classmethod
-    def from_index(cls, index, num_shards: int) -> "ShardMap":
+    def from_index(cls, index, num_shards: int) -> ShardMap:
         """Partition a built :class:`~repro.silc.SILCIndex`'s network."""
         return cls.from_codes(
             index.vertex_codes, num_shards, index.embedding.order

@@ -63,7 +63,7 @@ import threading
 from dataclasses import dataclass
 from functools import reduce
 from time import perf_counter
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.engine import BatchResult
 from repro.errors import DeadlineExceeded, ShardUnavailable
@@ -211,7 +211,7 @@ class PartitionRouter:
         """
         probes = 0
         for (code, level), rect in zip(
-            self._cover_blocks[shard], self._cover_rects[shard]
+            self._cover_blocks[shard], self._cover_rects[shard], strict=True
         ):
             if self._slope * rect.min_distance_to_point(point) > bound:
                 continue

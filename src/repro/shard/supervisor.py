@@ -37,7 +37,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import DeadlineExceeded, ShardUnavailable, WorkerDied
 from repro.obs.trace import NULL_TRACE
@@ -260,7 +260,10 @@ class ShardSupervisor:
                         self._respawn(shard, worker, attempt)
                     except ShardUnavailable:
                         raise
-                    except Exception:  # noqa: BLE001 - retried by loop
+                    except (WorkerDied, OSError, EOFError,
+                            RuntimeError, ValueError):
+                        # Spawn/ping failures; retried by the loop.  A
+                        # bug of any other type propagates.
                         continue
                     span.count(respawn_attempt=attempt)
                 self._count(retries=1)
@@ -324,7 +327,10 @@ class ShardSupervisor:
                 try:
                     self._respawn(shard, dead, attempt)
                     return
-                except Exception:  # noqa: BLE001 - retried with backoff
+                except (ShardUnavailable, WorkerDied, OSError, EOFError,
+                        RuntimeError, ValueError):
+                    # Spawn/ping failures; retried with backoff until
+                    # the attempt budget runs out.
                     continue
         finally:
             with self._state_lock:

@@ -58,6 +58,8 @@ spawning, supervision and the
 
 from __future__ import annotations
 
+import contextlib
+import math
 import multiprocessing as mp
 import shutil
 import tempfile
@@ -65,7 +67,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import DeadlineExceeded, WorkerDied
 from repro.objects.index import ObjectIndex
@@ -193,7 +195,7 @@ class WorkerSpec:
     storage_options: dict | None = None
 
 
-def spawn_worker(spec: WorkerSpec) -> "ShardWorker":
+def spawn_worker(spec: WorkerSpec) -> ShardWorker:
     """Start one worker process from its spec; does not ping it."""
     ctx = mp.get_context(_START_METHOD)
     parent_conn, child_conn = ctx.Pipe()
@@ -281,13 +283,12 @@ class ShardWorker:
                         shard=self.shard_id,
                     ) from exc
                 if not self.process.is_alive():
-                    # Drain any response that raced the process exit.
-                    try:
+                    # Drain any response that raced the process exit
+                    # (suppressed errors mean there was none to drain).
+                    with contextlib.suppress(EOFError, OSError):
                         if self.conn.poll(0):
                             response = self.conn.recv()
                             break
-                    except (EOFError, OSError):
-                        pass
                     raise WorkerDied(
                         f"shard worker {self.shard_id} died mid-request "
                         f"(exitcode {self.process.exitcode})",
@@ -314,7 +315,7 @@ class ShardWorker:
         position,
         k: int,
         variant: str,
-        cap: float = float("inf"),
+        cap: float = math.inf,
         trace: bool = False,
         time_cap: float | None = None,
     ):
@@ -346,15 +347,11 @@ class ShardWorker:
         SIGKILL, then reap: after this returns the process is gone and
         a replacement can safely map the same files.
         """
-        try:
+        with contextlib.suppress(OSError, ValueError, AttributeError):
             self.process.kill()
-        except (OSError, ValueError, AttributeError):
-            pass
         self.process.join(5.0)
-        try:
+        with contextlib.suppress(OSError):
             self.conn.close()
-        except OSError:
-            pass
 
     def stop(self, timeout: float = 5.0) -> None:
         """Ask the process to exit; escalate join -> terminate -> kill.
@@ -364,15 +361,10 @@ class ShardWorker:
         terminated (SIGTERM), and if *that* does not land, killed
         (SIGKILL) -- each stage followed by a bounded join.
         """
-        try:
-            with self._lock:
-                self.conn.send(("stop",))
-        except (OSError, ValueError):
-            pass
-        try:
+        with contextlib.suppress(OSError, ValueError), self._lock:
+            self.conn.send(("stop",))
+        with contextlib.suppress(OSError):
             self.conn.close()
-        except OSError:
-            pass
         self.process.join(timeout)
         if self.process.is_alive():
             self.process.terminate()
@@ -424,7 +416,7 @@ class ShardGroup:
         on_failure: str = "respawn",
         max_retries: int = 2,
         fault_injector=None,
-    ) -> "ShardGroup":
+    ) -> ShardGroup:
         """Shard a :class:`~repro.engine.QueryEngine`'s index and objects.
 
         Partitions the network into ``num_shards`` Morton ranges,
@@ -551,7 +543,7 @@ class ShardGroup:
         if self._owns_directory:
             shutil.rmtree(self.directory, ignore_errors=True)
 
-    def __enter__(self) -> "ShardGroup":
+    def __enter__(self) -> ShardGroup:
         return self
 
     def __exit__(self, *exc) -> None:

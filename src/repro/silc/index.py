@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import zipfile
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.geometry.morton import block_cells
 from repro.geometry.rect import Rect
 from repro.integrity import (
     atomic_directory,
+    atomic_save_npy,
     atomic_save_npz,
     checked_load,
     verify_manifest,
@@ -64,7 +65,7 @@ class SILCIndex:
         network: SpatialNetwork,
         embedding: GridEmbedding,
         vertex_codes: np.ndarray,
-        tables: "list[BlockTable] | FlatStore | ShardedFlatStore",
+        tables: list[BlockTable] | FlatStore | ShardedFlatStore,
     ) -> None:
         if isinstance(tables, list):
             store = FlatStore.from_tables(tables)
@@ -105,7 +106,7 @@ class SILCIndex:
         progress: Callable[[int, int], None] | None = None,
         workers: int | None = None,
         transport: str | None = None,
-    ) -> "SILCIndex":
+    ) -> SILCIndex:
         """Run the full SILC precompute for a network.
 
         ``sources`` restricts the build to a subset of vertices (used
@@ -393,7 +394,7 @@ class SILCIndex:
                 np.save(tmp / f"{name}.npy", array)
 
     @classmethod
-    def load(cls, path, network: SpatialNetwork, mmap: bool = False) -> "SILCIndex":
+    def load(cls, path, network: SpatialNetwork, mmap: bool = False) -> SILCIndex:
         """Restore an index saved by :meth:`save` for the same network.
 
         ``mmap=True`` memory-maps the block columns of a
@@ -449,7 +450,7 @@ class SILCIndex:
     @classmethod
     def _from_arrays(
         cls, network: SpatialNetwork, get, validate: bool
-    ) -> "SILCIndex":
+    ) -> SILCIndex:
         store = FlatStore.from_columns(
             np.asarray(get("sizes"), dtype=np.int64),
             {name: get(name) for name in COLUMNS},
@@ -487,8 +488,8 @@ class SILCIndex:
         """
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
-        np.save(directory / "vertex_codes.npy", self.vertex_codes)
-        np.save(
+        atomic_save_npy(directory / "vertex_codes.npy", self.vertex_codes)
+        atomic_save_npy(
             directory / "embedding_bounds.npy",
             np.array(
                 [
@@ -499,10 +500,12 @@ class SILCIndex:
                 ]
             ),
         )
-        np.save(directory / "embedding_order.npy", np.array([self.embedding.order]))
-        np.save(directory / "sizes.npy", self.store.sizes.astype(np.int64))
-        np.save(directory / "shard_boundaries.npy", shard_map.boundaries)
-        np.save(directory / "shard_assign.npy", shard_map.assign)
+        atomic_save_npy(
+            directory / "embedding_order.npy", np.array([self.embedding.order])
+        )
+        atomic_save_npy(directory / "sizes.npy", self.store.sizes.astype(np.int64))
+        atomic_save_npy(directory / "shard_boundaries.npy", shard_map.boundaries)
+        atomic_save_npy(directory / "shard_assign.npy", shard_map.assign)
         for shard in range(shard_map.num_shards):
             self.store.save_shard(directory, shard, shard_map.vertices(shard))
         # The top-level manifest (metadata files only; each shard
@@ -517,7 +520,7 @@ class SILCIndex:
         network: SpatialNetwork,
         primary: int | None = None,
         mmap: bool = True,
-    ) -> "SILCIndex":
+    ) -> SILCIndex:
         """Restore a :meth:`save_sharded` index with full coverage.
 
         Every shard's tables are available (queries routinely walk

@@ -43,11 +43,11 @@ class DistanceInterval:
     def contains(self, value: float) -> bool:
         return self.lo <= value <= self.hi
 
-    def intersects(self, other: "DistanceInterval") -> bool:
+    def intersects(self, other: DistanceInterval) -> bool:
         """The paper's *collision* test between two intervals."""
         return self.lo <= other.hi and other.lo <= self.hi
 
-    def strictly_before(self, other: "DistanceInterval") -> bool:
+    def strictly_before(self, other: DistanceInterval) -> bool:
         """Whether every value here is <= every value of ``other``.
 
         When true, the ordering between the two underlying distances
@@ -58,13 +58,13 @@ class DistanceInterval:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
-    def shifted(self, offset: float) -> "DistanceInterval":
+    def shifted(self, offset: float) -> DistanceInterval:
         """The interval of ``offset + d`` for ``d`` in this interval."""
         if offset < 0 and self.lo + offset < 0:
             return DistanceInterval(0.0, max(self.hi + offset, 0.0))
         return DistanceInterval(self.lo + offset, self.hi + offset)
 
-    def intersection(self, other: "DistanceInterval") -> "DistanceInterval":
+    def intersection(self, other: DistanceInterval) -> DistanceInterval:
         """Tightest interval consistent with both operands.
 
         Both operands must contain the true distance, so their overlap
@@ -80,7 +80,7 @@ class DistanceInterval:
             return DistanceInterval(mid, mid)
         return DistanceInterval(lo, hi)
 
-    def union_min(self, other: "DistanceInterval") -> "DistanceInterval":
+    def union_min(self, other: DistanceInterval) -> DistanceInterval:
         """Interval of ``min(a, b)`` for ``a`` here and ``b`` in other.
 
         Needed for objects reachable through either endpoint of an
@@ -89,9 +89,9 @@ class DistanceInterval:
         return DistanceInterval(min(self.lo, other.lo), min(self.hi, other.hi))
 
     @staticmethod
-    def exact(value: float) -> "DistanceInterval":
+    def exact(value: float) -> DistanceInterval:
         return DistanceInterval(value, value)
 
     @staticmethod
-    def unbounded(lo: float = 0.0) -> "DistanceInterval":
+    def unbounded(lo: float = 0.0) -> DistanceInterval:
         return DistanceInterval(lo, math.inf)

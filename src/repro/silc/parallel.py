@@ -37,12 +37,13 @@ Used by :meth:`repro.silc.index.SILCIndex.build` and
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import pickle
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 import os
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -164,12 +165,12 @@ def _close_shm(seg: shared_memory.SharedMemory, unlink: bool) -> None:
         try:
             seg.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
-            try:
+            # Suppressed: already unregistered (or the tracker is gone
+            # at interpreter shutdown); nothing left to clean up.
+            with contextlib.suppress(KeyError, OSError):  # pragma: no cover
                 resource_tracker.unregister(
                     getattr(seg, "_name", seg.name), "shared_memory"
                 )
-            except Exception:
-                pass
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +193,7 @@ def _pack_arrays(
         layout.append((key, arr.dtype.str, arr.size, offset))
         offset += arr.nbytes
     seg = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-    for (key, dtype, size, off), arr in zip(layout, arrays.values()):
+    for (_key, dtype, size, off), arr in zip(layout, arrays.values(), strict=True):
         dst = np.ndarray(size, dtype=dtype, buffer=seg.buf, offset=off)
         dst[:] = np.ascontiguousarray(arr).ravel()
     return seg, (seg.name, layout)

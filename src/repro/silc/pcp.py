@@ -104,7 +104,7 @@ class PCPOracle:
         network: SpatialNetwork,
         epsilon: float = 0.25,
         max_vertices: int = 3000,
-    ) -> "PCPOracle":
+    ) -> PCPOracle:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         n = network.num_vertices

@@ -78,7 +78,7 @@ class ProximalSILCIndex(SILCIndex):
         chunk_size: int = 128,
         workers: int | None = None,
         transport: str | None = None,
-    ) -> "ProximalSILCIndex":
+    ) -> ProximalSILCIndex:
         if radius <= 0:
             raise ValueError("radius must be positive")
         network.require_strongly_connected()

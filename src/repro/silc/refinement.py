@@ -57,7 +57,7 @@ class RefinableDistance:
 
     def __init__(
         self,
-        index: "SILCIndex",
+        index: SILCIndex,
         source: int,
         target: int,
         counter: RefinementCounter | None = None,

@@ -25,7 +25,7 @@ The layout is what makes the rest of the zero-copy pipeline possible:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -106,7 +106,7 @@ class FlatStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_tables(cls, tables: Iterable[BlockTable]) -> "FlatStore":
+    def from_tables(cls, tables: Iterable[BlockTable]) -> FlatStore:
         """Concatenate a sequence of per-vertex tables into one store."""
         tables = list(tables)
         sizes = np.array([len(t) for t in tables], dtype=np.int64)
@@ -125,13 +125,13 @@ class FlatStore:
     @classmethod
     def from_columns(
         cls, sizes: np.ndarray, columns: dict[str, np.ndarray]
-    ) -> "FlatStore":
+    ) -> FlatStore:
         """Build from per-vertex sizes plus already-concatenated columns."""
         offsets = np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=np.int64))])
         return cls(offsets.astype(np.int64), **{n: columns[n] for n in COLUMNS})
 
     @classmethod
-    def empty(cls, num_vertices: int) -> "FlatStore":
+    def empty(cls, num_vertices: int) -> FlatStore:
         return cls(np.zeros(num_vertices + 1, dtype=np.int64), **empty_columns())
 
     # ------------------------------------------------------------------
@@ -166,7 +166,7 @@ class FlatStore:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self) -> "FlatStore":
+    def validate(self) -> FlatStore:
         """Check every table's invariants in one vectorized pass.
 
         Within each table the codes must be strictly increasing and
@@ -403,7 +403,7 @@ class ShardedFlatStore:
                 out[name][lo:hi] = getattr(fragment, name)[flo : flo + hi - lo]
         return out
 
-    def validate(self) -> "ShardedFlatStore":
+    def validate(self) -> ShardedFlatStore:
         """Per-fragment invariant check (see :meth:`FlatStore.validate`)."""
         for fragment in self.shards:
             fragment.validate()

@@ -74,7 +74,7 @@ class ShardedStorageSimulator:
         page_layout: PageLayout | None = None,
         miss_latency: float = DEFAULT_MISS_LATENCY,
         sleep_per_miss: float = 0.0,
-    ) -> "ShardedStorageSimulator":
+    ) -> ShardedStorageSimulator:
         """Sized like :meth:`StorageSimulator.for_table_sizes`.
 
         Each worker thread's shard holds ``cache_fraction`` of the
@@ -93,7 +93,7 @@ class ShardedStorageSimulator:
         )
 
     @classmethod
-    def from_simulator(cls, simulator) -> "ShardedStorageSimulator":
+    def from_simulator(cls, simulator) -> ShardedStorageSimulator:
         """A sharded equivalent of a plain :class:`StorageSimulator`."""
         return cls(
             layout=simulator.layout,

@@ -28,10 +28,10 @@ class CacheStats:
         """Simulated I/O time: one ``miss_latency`` per page fault."""
         return self.misses * miss_latency
 
-    def snapshot(self) -> "CacheStats":
+    def snapshot(self) -> CacheStats:
         return CacheStats(self.accesses, self.hits, self.misses, self.evictions)
 
-    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+    def delta_since(self, earlier: CacheStats) -> CacheStats:
         """Counter difference, for per-query accounting."""
         return CacheStats(
             self.accesses - earlier.accesses,

@@ -38,7 +38,7 @@ class StorageSimulator:
         cache_fraction: float = 0.05,
         page_layout: PageLayout | None = None,
         miss_latency: float = DEFAULT_MISS_LATENCY,
-    ) -> "StorageSimulator":
+    ) -> StorageSimulator:
         """Build a simulator sized like the paper's setup.
 
         ``cache_fraction`` of the total pages (at least one) fit in
